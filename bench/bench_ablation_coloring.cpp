@@ -1,0 +1,74 @@
+//===- bench/bench_ablation_coloring.cpp - §5.2 ablation ------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Design-choice ablation (DESIGN.md A2): DSatur versus naive first-fit
+/// clause colouring. Fewer colours mean fewer sequential zone executions,
+/// so the colour count translates directly into execution time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  Table T({"variables", "colors dsatur", "colors first-fit", "exec dsatur [s]",
+           "exec first-fit [s]"});
+  for (int N : {20, 50, 100, 250}) {
+    double ColorsA = 0, ColorsB = 0, ExecA = 0, ExecB = 0;
+    const int Instances = 5;
+    for (int I = 1; I <= Instances; ++I) {
+      sat::CnfFormula F = sat::satlibInstance(N, I);
+      core::WeaverOptions A, B;
+      B.UseDSatur = false;
+      auto RA = core::compileWeaver(F, A);
+      auto RB = core::compileWeaver(F, B);
+      if (!RA || !RB)
+        continue;
+      ColorsA += RA->Coloring.numColors() / double(Instances);
+      ColorsB += RB->Coloring.numColors() / double(Instances);
+      ExecA += RA->Stats.Duration / Instances;
+      ExecB += RB->Stats.Duration / Instances;
+    }
+    T.addRow({std::to_string(N), formatf("%.1f", ColorsA),
+              formatf("%.1f", ColorsB), formatf("%.4g", ExecA),
+              formatf("%.4g", ExecB)});
+  }
+  std::printf("== Ablation A2: DSatur vs. first-fit clause colouring ==\n%s\n",
+              T.render().c_str());
+}
+
+void BM_DSatur(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(250, 1);
+  for (auto _ : State) {
+    auto C = core::colorClausesDSatur(F);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_DSatur);
+
+void BM_FirstFit(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(250, 1);
+  for (auto _ : State) {
+    auto C = core::colorClausesFirstFit(F);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_FirstFit);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

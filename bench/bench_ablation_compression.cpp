@@ -1,0 +1,93 @@
+//===- bench/bench_ablation_compression.cpp - §5.4 ablation ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Design-choice ablation (DESIGN.md A1): Weaver with and without 3-qubit
+/// gate compression across the benchmark sizes. Compression should cut
+/// Rydberg pulse counts and execution time while the EPS comparison
+/// depends on the CCZ-vs-CZ fidelity gap — exactly the trade the §5.4
+/// profitability test arbitrates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  Table T({"variables", "pulses on", "pulses off", "exec on [s]",
+           "exec off [s]", "eps on", "eps off"});
+  for (int N : {20, 50, 100}) {
+    sat::CnfFormula F = sat::satlibInstance(N, 1);
+    core::WeaverOptions On, Off;
+    On.Compression = core::WeaverOptions::CompressionMode::On;
+    Off.Compression = core::WeaverOptions::CompressionMode::Off;
+    auto ROn = core::compileWeaver(F, On);
+    auto ROff = core::compileWeaver(F, Off);
+    if (!ROn || !ROff) {
+      std::fprintf(stderr, "compile failed at N=%d\n", N);
+      return;
+    }
+    T.addRow({std::to_string(N), std::to_string(ROn->Stats.totalPulses()),
+              std::to_string(ROff->Stats.totalPulses()),
+              formatf("%.4g", ROn->Stats.Duration),
+              formatf("%.4g", ROff->Stats.Duration),
+              formatf("%.3g", ROn->Stats.Eps),
+              formatf("%.3g", ROff->Stats.Eps)});
+  }
+  std::printf("== Ablation A1: 3-qubit gate compression on/off ==\n%s\n",
+              T.render().c_str());
+
+  // The profitability frontier: at which CCZ fidelity does the §5.4 test
+  // flip?
+  fpqa::HardwareParams Hw;
+  double Flip = -1;
+  for (double Fid = 0.95; Fid <= 0.999; Fid += 0.0005) {
+    Hw.CczFidelity = Fid;
+    if (Hw.cczCompressionProfitable()) {
+      Flip = Fid;
+      break;
+    }
+  }
+  std::printf("compression becomes profitable at CCZ fidelity ~%.4f "
+              "(current hardware: 0.98)\n\n",
+              Flip);
+}
+
+void BM_CompressionOn(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(50, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    Opt.Compression = core::WeaverOptions::CompressionMode::On;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CompressionOn);
+
+void BM_CompressionOff(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(50, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    Opt.Compression = core::WeaverOptions::CompressionMode::Off;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CompressionOff);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

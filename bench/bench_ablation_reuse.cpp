@@ -1,0 +1,80 @@
+//===- bench/bench_ablation_reuse.cpp - §5.3 ablation ---------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Design-choice ablation (DESIGN.md A3): Algorithm 2's atom reuse —
+/// keeping atoms needed by the next colour in the AOD instead of
+/// returning them to their home traps — versus the naive
+/// return-everything policy. Reuse cuts transfer counts (each transfer
+/// costs 15 us and survival fidelity) and shortens the schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  Table T({"variables", "transfers reuse", "transfers naive",
+           "exec reuse [s]", "exec naive [s]", "eps reuse", "eps naive"});
+  for (int N : {20, 50, 100, 250}) {
+    sat::CnfFormula F = sat::satlibInstance(N, 1);
+    core::WeaverOptions On, Off;
+    On.ReuseAodAtoms = true;
+    Off.ReuseAodAtoms = false;
+    auto ROn = core::compileWeaver(F, On);
+    auto ROff = core::compileWeaver(F, Off);
+    if (!ROn || !ROff) {
+      std::fprintf(stderr, "compile failed at N=%d\n", N);
+      return;
+    }
+    T.addRow({std::to_string(N),
+              std::to_string(ROn->Stats.TransferInstructions),
+              std::to_string(ROff->Stats.TransferInstructions),
+              formatf("%.4g", ROn->Stats.Duration),
+              formatf("%.4g", ROff->Stats.Duration),
+              formatf("%.3g", ROn->Stats.Eps),
+              formatf("%.3g", ROff->Stats.Eps)});
+  }
+  std::printf("== Ablation A3: colour-shuttling atom reuse (Algorithm 2) "
+              "==\n%s\n",
+              T.render().c_str());
+}
+
+void BM_ReuseOn(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(50, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    Opt.ReuseAodAtoms = true;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ReuseOn);
+
+void BM_ReuseOff(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(50, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    Opt.ReuseAodAtoms = false;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ReuseOff);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/bench_compile_fixed.cpp - Fig. 8a: compile time, uf20 --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 8a: end-to-end compilation time of all five
+/// compilers on the ten fixed-size 20-variable MAX-3SAT instances
+/// (uf20-01..uf20-10), plus the mean column. Expected shape: Weaver and
+/// the SC/Atomique pair compile in fractions of a second while Geyser and
+/// DPQA are orders of magnitude slower (the paper's 5.7e3x headline).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  SuiteConfig Config;
+  Table T({"instance", "superconducting", "atomique", "weaver", "dpqa",
+           "geyser"});
+  std::vector<std::vector<double>> PerCompiler(NumCompilers);
+  for (int I = 1; I <= 10; ++I) {
+    sat::CnfFormula F = sat::satlibInstance(20, I);
+    InstanceResults R = runSuite(F, Config);
+    std::vector<std::string> Row{F.name()};
+    for (int C = 0; C < NumCompilers; ++C) {
+      const auto &B = R.get(C);
+      Row.push_back(cell(B, B.CompileSeconds));
+      if (B.usable())
+        PerCompiler[C].push_back(B.CompileSeconds);
+    }
+    T.addRow(Row);
+  }
+  std::vector<std::string> Mean{"mean"};
+  for (int C = 0; C < NumCompilers; ++C)
+    Mean.push_back(PerCompiler[C].empty()
+                       ? "X"
+                       : formatf("%.4g", geoMean(PerCompiler[C])));
+  T.addRow(Mean);
+  std::printf("== Fig. 8a: compilation time [seconds], fixed 20-variable "
+              "suite ==\n%s\n",
+              T.render().c_str());
+  double WeaverMean = geoMean(PerCompiler[2]);
+  for (int C : {0, 1, 3, 4})
+    if (!PerCompiler[C].empty())
+      std::printf("weaver speedup vs %s: %.1fx\n", compilerName(C),
+                  geoMean(PerCompiler[C]) / WeaverMean);
+  std::printf("\n");
+}
+
+void BM_WeaverCompileUf20(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(20, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_WeaverCompileUf20);
+
+void BM_SuperconductingCompileUf20(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(20, 1);
+  for (auto _ : State) {
+    auto R = baselines::compileSuperconducting(F);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SuperconductingCompileUf20);
+
+void BM_AtomiqueCompileUf20(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(20, 1);
+  for (auto _ : State) {
+    auto R = baselines::compileAtomique(F);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_AtomiqueCompileUf20);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

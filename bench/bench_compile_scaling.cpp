@@ -1,0 +1,75 @@
+//===- bench/bench_compile_scaling.cpp - Fig. 8b: compile time vs. size ---===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 8b: compilation time against the number of
+/// variables (20..250). Expected shape: Geyser and DPQA time out ("X")
+/// above 20 variables; superconducting stops at 100 variables (127-qubit
+/// device, "-"); Weaver stays fastest and scales ~quadratically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+constexpr int InstancesPerSize = 5;
+
+void printTable() {
+  SuiteConfig Config;
+  Table T({"variables", "superconducting", "atomique", "weaver", "dpqa",
+           "geyser"});
+  for (int N : sat::SatlibSizes) {
+    std::vector<std::vector<double>> Vals(NumCompilers);
+    bool Timeout[NumCompilers] = {};
+    bool Unsupported[NumCompilers] = {};
+    for (int I = 1; I <= InstancesPerSize; ++I) {
+      InstanceResults R = runSuite(sat::satlibInstance(N, I), Config);
+      for (int C = 0; C < NumCompilers; ++C) {
+        const auto &B = R.get(C);
+        Timeout[C] |= B.TimedOut;
+        Unsupported[C] |= B.Unsupported;
+        if (B.usable())
+          Vals[C].push_back(B.CompileSeconds);
+      }
+    }
+    std::vector<std::string> Row{std::to_string(N)};
+    for (int C = 0; C < NumCompilers; ++C)
+      Row.push_back(Timeout[C]       ? "X"
+                    : Unsupported[C] ? "-"
+                                     : formatf("%.4g", geoMean(Vals[C])));
+    T.addRow(Row);
+  }
+  std::printf("== Fig. 8b: compilation time [seconds] vs. number of "
+              "variables (mean of %d instances) ==\n%s\n",
+              InstancesPerSize, T.render().c_str());
+}
+
+void BM_WeaverCompile(benchmark::State &State) {
+  sat::CnfFormula F =
+      sat::satlibInstance(static_cast<int>(State.range(0)), 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_WeaverCompile)->Arg(20)->Arg(50)->Arg(100)->Arg(250)
+    ->Complexity();
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

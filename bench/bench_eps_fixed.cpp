@@ -1,0 +1,66 @@
+//===- bench/bench_eps_fixed.cpp - Fig. 12a: EPS, uf20 --------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 12a: estimated probability of success on the ten
+/// 20-variable instances for the FPQA compilers (Geyser is excluded, as
+/// in the paper, because its block approximation makes EPS incomparable).
+/// Expected shape: Weaver above Atomique (the paper's ~10% headline);
+/// DPQA competitive or slightly better at this size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  SuiteConfig Config;
+  Config.RunGeyser = false; // excluded from Fig. 12 (block approximation)
+  Table T({"instance", "atomique", "weaver", "dpqa"});
+  std::vector<std::vector<double>> PerCompiler(NumCompilers);
+  for (int I = 1; I <= 10; ++I) {
+    sat::CnfFormula F = sat::satlibInstance(20, I);
+    InstanceResults R = runSuite(F, Config);
+    T.addRow({F.name(), cell(R.Atomique, R.Atomique.Eps),
+              cell(R.Weaver, R.Weaver.Eps), cell(R.Dpqa, R.Dpqa.Eps)});
+    for (int C : {1, 2, 3})
+      if (R.get(C).usable())
+        PerCompiler[C].push_back(R.get(C).Eps);
+  }
+  T.addRow({"mean", formatf("%.4g", geoMean(PerCompiler[1])),
+            formatf("%.4g", geoMean(PerCompiler[2])),
+            PerCompiler[3].empty() ? "X"
+                                   : formatf("%.4g", geoMean(PerCompiler[3]))});
+  std::printf("== Fig. 12a: estimated probability of success, fixed "
+              "20-variable suite ==\n%s\n",
+              T.render().c_str());
+  std::printf("weaver EPS improvement vs atomique: %.0f%%\n\n",
+              (geoMean(PerCompiler[2]) / geoMean(PerCompiler[1]) - 1) * 100);
+}
+
+void BM_EpsPipelineUf20(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(20, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R->Stats.Eps);
+  }
+}
+BENCHMARK(BM_EpsPipelineUf20);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- bench/bench_eps_scaling.cpp - Fig. 12b: EPS vs. size ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 12b: EPS against the number of variables. All EPS
+/// values decay exponentially with size; the separation between Weaver
+/// and Atomique/superconducting widens by orders of magnitude at 150-250
+/// variables (the paper's 1e8x claim at 150 variables).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  SuiteConfig Config;
+  Config.RunGeyser = false;
+  Table T({"variables", "superconducting", "atomique", "weaver", "dpqa",
+           "weaver/atomique"});
+  for (int N : sat::SatlibSizes) {
+    std::vector<std::vector<double>> Vals(NumCompilers);
+    bool Timeout[NumCompilers] = {};
+    bool Unsupported[NumCompilers] = {};
+    for (int I = 1; I <= 5; ++I) {
+      InstanceResults R = runSuite(sat::satlibInstance(N, I), Config);
+      for (int C = 0; C < NumCompilers; ++C) {
+        Timeout[C] |= R.get(C).TimedOut;
+        Unsupported[C] |= R.get(C).Unsupported;
+        if (R.get(C).usable() && R.get(C).Eps > 0)
+          Vals[C].push_back(R.get(C).Eps);
+      }
+    }
+    auto Cell = [&](int C) {
+      if (Timeout[C])
+        return std::string("X");
+      if (Unsupported[C])
+        return std::string("-");
+      return formatf("%.3g", geoMean(Vals[C]));
+    };
+    std::string Ratio = Vals[1].empty() || Vals[2].empty()
+                            ? "-"
+                            : formatf("%.3g", geoMean(Vals[2]) /
+                                                  geoMean(Vals[1]));
+    T.addRow({std::to_string(N), Cell(0), Cell(1), Cell(2), Cell(3), Ratio});
+  }
+  std::printf("== Fig. 12b: estimated probability of success vs. number of "
+              "variables (mean of 5 instances) ==\n%s\n",
+              T.render().c_str());
+}
+
+void BM_EpsAt150(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(150, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R->Stats.Eps);
+  }
+}
+BENCHMARK(BM_EpsAt150);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/bench_exec_fixed.cpp - Fig. 11a: execution time, uf20 --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 11a: execution time (sum of pulse and shuttle
+/// durations / scheduled duration) of every compiled program on the ten
+/// 20-variable instances. Expected shape: superconducting is fastest (ns
+/// gates), Geyser is the fastest FPQA result (no movement), Weaver beats
+/// Atomique and DPQA by integer factors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  SuiteConfig Config;
+  Table T({"instance", "superconducting", "atomique", "weaver", "dpqa",
+           "geyser"});
+  std::vector<std::vector<double>> PerCompiler(NumCompilers);
+  for (int I = 1; I <= 10; ++I) {
+    sat::CnfFormula F = sat::satlibInstance(20, I);
+    InstanceResults R = runSuite(F, Config);
+    std::vector<std::string> Row{F.name()};
+    for (int C = 0; C < NumCompilers; ++C) {
+      const auto &B = R.get(C);
+      Row.push_back(cell(B, B.ExecutionSeconds));
+      if (B.usable())
+        PerCompiler[C].push_back(B.ExecutionSeconds);
+    }
+    T.addRow(Row);
+  }
+  std::vector<std::string> Mean{"mean"};
+  for (int C = 0; C < NumCompilers; ++C)
+    Mean.push_back(PerCompiler[C].empty()
+                       ? "X"
+                       : formatf("%.4g", geoMean(PerCompiler[C])));
+  T.addRow(Mean);
+  std::printf("== Fig. 11a: execution time [seconds], fixed 20-variable "
+              "suite ==\n%s\n",
+              T.render().c_str());
+  double WeaverMean = geoMean(PerCompiler[2]);
+  for (int C : {1, 3})
+    if (!PerCompiler[C].empty())
+      std::printf("weaver execution speedup vs %s: %.1fx\n", compilerName(C),
+                  geoMean(PerCompiler[C]) / WeaverMean);
+  std::printf("\n");
+}
+
+void BM_WeaverEndToEndUf20(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(20, 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_WeaverEndToEndUf20);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- bench/bench_exec_scaling.cpp - Fig. 11b: execution time vs. size ---===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 11b: execution time against the number of variables.
+/// Geyser and DPQA time out above 20 variables; superconducting is capped
+/// at 100 variables by the 127-qubit device.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  SuiteConfig Config;
+  Table T({"variables", "superconducting", "atomique", "weaver", "dpqa",
+           "geyser"});
+  for (int N : sat::SatlibSizes) {
+    std::vector<std::vector<double>> Vals(NumCompilers);
+    bool Timeout[NumCompilers] = {};
+    bool Unsupported[NumCompilers] = {};
+    for (int I = 1; I <= 5; ++I) {
+      InstanceResults R = runSuite(sat::satlibInstance(N, I), Config);
+      for (int C = 0; C < NumCompilers; ++C) {
+        Timeout[C] |= R.get(C).TimedOut;
+        Unsupported[C] |= R.get(C).Unsupported;
+        if (R.get(C).usable())
+          Vals[C].push_back(R.get(C).ExecutionSeconds);
+      }
+    }
+    std::vector<std::string> Row{std::to_string(N)};
+    for (int C = 0; C < NumCompilers; ++C)
+      Row.push_back(Timeout[C]       ? "X"
+                    : Unsupported[C] ? "-"
+                                     : formatf("%.4g", geoMean(Vals[C])));
+    T.addRow(Row);
+  }
+  std::printf("== Fig. 11b: execution time [seconds] vs. number of "
+              "variables (mean of 5 instances) ==\n%s\n",
+              T.render().c_str());
+}
+
+void BM_WeaverExecutionEstimate(benchmark::State &State) {
+  sat::CnfFormula F =
+      sat::satlibInstance(static_cast<int>(State.range(0)), 1);
+  for (auto _ : State) {
+    core::WeaverOptions Opt;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_WeaverExecutionEstimate)->Arg(20)->Arg(100);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- bench/bench_pulses.cpp - Fig. 10b: number of pulses ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 10b: mean number of laser pulses in each FPQA
+/// compiler's output against the number of variables. Expected shape:
+/// DPQA emits the fewest pulses (heavy movement), Weaver sits well below
+/// Atomique and Geyser thanks to clause compression and global pulses;
+/// Geyser/DPQA show "X" above 20 variables.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+void printTable() {
+  SuiteConfig Config;
+  Config.RunSuperconducting = false; // Fig. 10b compares FPQA compilers
+  Table T({"variables", "atomique", "weaver", "dpqa", "geyser"});
+  for (int N : sat::SatlibSizes) {
+    std::vector<std::vector<double>> Vals(NumCompilers);
+    bool Timeout[NumCompilers] = {};
+    for (int I = 1; I <= 5; ++I) {
+      InstanceResults R = runSuite(sat::satlibInstance(N, I), Config);
+      for (int C = 1; C < NumCompilers; ++C) {
+        Timeout[C] |= R.get(C).TimedOut;
+        if (R.get(C).usable())
+          Vals[C].push_back(static_cast<double>(R.get(C).Pulses));
+      }
+    }
+    T.addRow({std::to_string(N),
+              Timeout[1] ? "X" : formatf("%.0f", geoMean(Vals[1])),
+              Timeout[2] ? "X" : formatf("%.0f", geoMean(Vals[2])),
+              Timeout[3] ? "X" : formatf("%.0f", geoMean(Vals[3])),
+              Timeout[4] ? "X" : formatf("%.0f", geoMean(Vals[4]))});
+  }
+  std::printf("== Fig. 10b: number of pulses vs. number of variables "
+              "(mean of 5 instances) ==\n%s\n",
+              T.render().c_str());
+}
+
+void BM_WeaverPulseAnalysis(benchmark::State &State) {
+  sat::CnfFormula F = sat::satlibInstance(20, 1);
+  core::WeaverOptions Opt;
+  auto W = core::compileWeaver(F, Opt);
+  core::CodegenResult CG;
+  CG.Program = W->Program;
+  auto Stream = CG.pulseStream();
+  for (auto _ : State) {
+    auto Stats = fpqa::analyzePulseProgram(Stream, Opt.Hw);
+    benchmark::DoNotOptimize(Stats);
+  }
+}
+BENCHMARK(BM_WeaverPulseAnalysis);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

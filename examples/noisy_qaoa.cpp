@@ -1,0 +1,76 @@
+//===- examples/noisy_qaoa.cpp - Optimised QAOA under noise ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The full hybrid loop of §2.1 plus a noise study: (1) the classical
+/// optimiser tunes the QAOA angles on an ideal simulator, (2) the tuned
+/// circuit is compiled for the FPQA with Weaver, and (3) a Monte-Carlo
+/// Pauli-noise simulation of the compressed circuit is compared against
+/// the analytic EPS model the evaluation uses (§8.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/WeaverCompiler.h"
+#include "qaoa/Builder.h"
+#include "qaoa/Optimizer.h"
+#include "sat/Evaluator.h"
+#include "sat/Generator.h"
+#include "sim/Noise.h"
+
+#include <cstdio>
+
+using namespace weaver;
+
+int main() {
+  sat::CnfFormula F = sat::RandomSatGenerator(7).generate(8, 20);
+  F.setName("noisy-demo");
+  sat::MaxSatOptimum Opt = sat::bruteForceMaxSat(F);
+  std::printf("formula: 8 variables, 20 clauses; MAX-SAT optimum satisfies "
+              "%zu\n\n",
+              Opt.BestSatisfied);
+
+  // (1) Classical parameter optimisation on the ideal simulator.
+  qaoa::OptimizerOptions OptOptions;
+  qaoa::OptimizedParams Tuned = qaoa::optimizeQaoaParams(F, OptOptions);
+  std::printf("tuned angles: gamma=%.3f beta=%.3f  (%d evaluations)\n",
+              Tuned.Params.Gamma, Tuned.Params.Beta, Tuned.Evaluations);
+  std::printf("expected satisfied clauses: %.3f / %zu; optimum mass %.3f\n\n",
+              Tuned.ExpectedSatisfied, F.numClauses(), Tuned.OptimumMass);
+
+  // (2) Compile the tuned program for the FPQA.
+  core::WeaverOptions WOpt;
+  WOpt.Qaoa = Tuned.Params;
+  WOpt.RunChecker = true;
+  auto W = core::compileWeaver(F, WOpt);
+  if (!W || !W->Check->passed()) {
+    std::fprintf(stderr, "compilation/verification failed\n");
+    return 1;
+  }
+  std::printf("FPQA program: %zu pulses, %.3f ms, analytic EPS %.4f "
+              "(verified)\n\n",
+              W->Stats.totalPulses(), W->Stats.Duration * 1e3,
+              W->Stats.Eps);
+
+  // (3) Monte-Carlo noise on the compressed logical circuit, using the
+  // same per-gate-class fidelities the analytic model charges.
+  qaoa::QaoaParams CP = Tuned.Params;
+  CP.UseCompressedClauses = true;
+  circuit::Circuit Compressed = qaoa::buildQaoaCircuit(F, CP);
+  sim::NoiseModel Noise;
+  Noise.OneQubitError = 1 - WOpt.Hw.RamanFidelity;
+  Noise.TwoQubitError = 1 - WOpt.Hw.CzFidelity;
+  Noise.ThreeQubitError = 1 - WOpt.Hw.CczFidelity;
+  sim::NoisyRunResult NR = sim::simulateNoisy(Compressed, Noise, 600, 42);
+  std::printf("Monte-Carlo (600 trajectories):\n");
+  std::printf("  error-free fraction:   %.4f  (gate-level EPS analogue)\n",
+              NR.ErrorFreeFraction);
+  std::printf("  Hellinger fidelity:    %.4f  (distribution-level)\n",
+              NR.HellingerFidelity);
+  std::printf("\nthe Hellinger fidelity upper-bounds the error-free "
+              "fraction: some injected\nPauli errors do not change the "
+              "measured distribution, so the analytic EPS\nmodel (§8.4) is "
+              "a conservative estimate.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- examples/retarget_and_verify.cpp - One program, two backends --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The retargeting story of Fig. 3: a single hardware-agnostic QAOA
+/// program is compiled (a) through the superconducting path — SABRE
+/// routing onto a heavy-hex device — and (b) through the Weaver FPQA path,
+/// and the FPQA output is verified against the original with the wChecker.
+/// The side-by-side metrics mirror the paper's §8 comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Superconducting.h"
+#include "core/WeaverCompiler.h"
+#include "sat/Generator.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace weaver;
+
+int main() {
+  // A 10-variable random 3-SAT instance (small enough to eyeball).
+  sat::CnfFormula F = sat::RandomSatGenerator(2024).generate(10, 30);
+  F.setName("retarget-demo");
+  std::printf("input: %d variables, %zu clauses\n\n", F.numVariables(),
+              F.numClauses());
+
+  // Path 1: superconducting (Qiskit-style SABRE + {U3, CZ}).
+  baselines::BaselineResult SC = baselines::compileSuperconducting(F);
+
+  // Path 2: FPQA via Weaver (colouring + shuttling + CCZ compression).
+  core::WeaverOptions Options;
+  Options.RunChecker = true;
+  Options.Checker.MaxUnitaryQubits = 10;
+  auto W = core::compileWeaver(F, Options);
+  if (!W) {
+    std::fprintf(stderr, "Weaver failed: %s\n", W.message().c_str());
+    return 1;
+  }
+
+  Table T({"metric", "superconducting", "fpqa (weaver)"});
+  auto Fmt = [](double V) { return formatf("%.4g", V); };
+  T.addRow({"compile time [s]", Fmt(SC.CompileSeconds),
+            Fmt(W->CompileSeconds)});
+  T.addRow({"pulses / gates", std::to_string(SC.Pulses),
+            std::to_string(W->Stats.totalPulses())});
+  T.addRow({"SWAPs inserted", std::to_string(SC.SwapGates), "0 (shuttling)"});
+  T.addRow({"execution time [s]", Fmt(SC.ExecutionSeconds),
+            Fmt(W->Stats.Duration)});
+  T.addRow({"EPS", Fmt(SC.Eps), Fmt(W->Stats.Eps)});
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("wChecker: structural %s, unitary %s\n",
+              W->Check->StructuralOk ? "PASS" : "FAIL",
+              !W->Check->UnitaryChecked ? "skipped"
+              : W->Check->UnitaryOk    ? "PASS"
+                                       : "FAIL");
+  if (!W->Check->passed()) {
+    std::fprintf(stderr, "verification failed: %s\n",
+                 W->Check->Diagnostic.c_str());
+    return 1;
+  }
+  std::printf("\nthe FPQA program provably implements the same circuit the "
+              "superconducting\npath received — retargeting preserved "
+              "semantics.\n");
+  return 0;
+}

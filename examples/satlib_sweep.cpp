@@ -1,0 +1,84 @@
+//===- examples/satlib_sweep.cpp - Scaling sweep over SATLIB sizes ---------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sweeps the SATLIB-style suite sizes the paper evaluates (20..250
+/// variables) through the Weaver pipeline, printing per-size averages —
+/// a miniature of the Fig. 8b/10b/11b/12b series for quick exploration.
+/// Optionally reads a real DIMACS file instead:
+///   satlib_sweep path/to/instance.cnf
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/WeaverCompiler.h"
+#include "sat/Dimacs.h"
+#include "sat/Generator.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace weaver;
+
+namespace {
+
+int runSingleFile(const char *Path) {
+  auto F = sat::parseDimacsFile(Path);
+  if (!F) {
+    std::fprintf(stderr, "error: %s\n", F.message().c_str());
+    return 1;
+  }
+  core::WeaverOptions Options;
+  auto R = core::compileWeaver(*F, Options);
+  if (!R) {
+    std::fprintf(stderr, "error: %s\n", R.message().c_str());
+    return 1;
+  }
+  std::printf("%s: %d vars, %zu clauses -> %d colours, %zu pulses, "
+              "%.3f ms exec, EPS %.3g, compiled in %.2f ms\n",
+              Path, F->numVariables(), F->numClauses(),
+              R->Coloring.numColors(), R->Stats.totalPulses(),
+              R->Stats.Duration * 1e3, R->Stats.Eps,
+              R->CompileSeconds * 1e3);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc > 1)
+    return runSingleFile(Argv[1]);
+
+  Table T({"size", "clauses", "colours", "pulses", "compile [ms]",
+           "exec [ms]", "EPS"});
+  for (int N : sat::SatlibSizes) {
+    double Compile = 0, Exec = 0, EpsLog = 0;
+    size_t Pulses = 0;
+    int Colors = 0;
+    const int Instances = 3;
+    size_t Clauses = 0;
+    for (int I = 1; I <= Instances; ++I) {
+      sat::CnfFormula F = sat::satlibInstance(N, I);
+      Clauses = F.numClauses();
+      core::WeaverOptions Options;
+      auto R = core::compileWeaver(F, Options);
+      if (!R) {
+        std::fprintf(stderr, "error at N=%d: %s\n", N, R.message().c_str());
+        return 1;
+      }
+      Compile += R->CompileSeconds / Instances;
+      Exec += R->Stats.Duration / Instances;
+      EpsLog += std::log10(R->Stats.Eps) / Instances;
+      Pulses += R->Stats.totalPulses() / Instances;
+      Colors = std::max(Colors, R->Coloring.numColors());
+    }
+    T.addRow({std::to_string(N), std::to_string(Clauses),
+              std::to_string(Colors), std::to_string(Pulses),
+              formatf("%.2f", Compile * 1e3), formatf("%.2f", Exec * 1e3),
+              formatf("1e%.1f", EpsLog)});
+  }
+  std::printf("%s", T.render().c_str());
+  return 0;
+}

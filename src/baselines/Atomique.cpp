@@ -1,0 +1,127 @@
+//===- baselines/Atomique.cpp - Atomique-style FPQA compiler --------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Atomique.h"
+
+#include "circuit/Decompose.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+using namespace weaver;
+using namespace weaver::baselines;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+BaselineResult baselines::compileAtomique(const sat::CnfFormula &Formula,
+                                          const qaoa::QaoaParams &Qaoa,
+                                          const AtomiqueParams &Params) {
+  BaselineResult R;
+  R.Compiler = "atomique";
+  auto Start = std::chrono::steady_clock::now();
+
+  qaoa::QaoaParams P = Qaoa;
+  P.UseCompressedClauses = false;
+  Circuit Logical = qaoa::buildQaoaCircuit(Formula, P);
+  circuit::BasisOptions Basis;
+  Basis.KeepCcz = false;
+  Circuit Native = circuit::translateToBasis(Logical, Basis);
+
+  int N = Native.numQubits();
+  std::vector<std::pair<int, int>> CzGates;
+  size_t OneQubitGates = 0;
+  for (const Gate &G : Native) {
+    if (G.kind() == GateKind::CZ)
+      CzGates.push_back({G.qubit(0), G.qubit(1)});
+    else if (G.numQubits() == 1 && G.kind() != GateKind::Measure)
+      ++OneQubitGates;
+  }
+
+  // Stage 1: qubit-array mapping. Hill-climb the 1-D atom order over all
+  // adjacent and non-adjacent position swaps (O(sweeps * N^2 * gates/N)).
+  std::vector<int> PositionOf(N);
+  std::iota(PositionOf.begin(), PositionOf.end(), 0);
+  std::vector<std::vector<size_t>> GatesOf(N);
+  for (size_t I = 0; I < CzGates.size(); ++I) {
+    GatesOf[CzGates[I].first].push_back(I);
+    GatesOf[CzGates[I].second].push_back(I);
+  }
+  auto DeltaForSwap = [&](int QA, int QB) {
+    double Before = 0, After = 0;
+    auto Probe = [&](int Q) {
+      for (size_t GI : GatesOf[Q]) {
+        auto [A, B] = CzGates[GI];
+        Before += std::abs(PositionOf[A] - PositionOf[B]);
+        int PA = A == QA ? PositionOf[QB] : (A == QB ? PositionOf[QA]
+                                                     : PositionOf[A]);
+        int PB = B == QA ? PositionOf[QB] : (B == QB ? PositionOf[QA]
+                                                     : PositionOf[B]);
+        After += std::abs(PA - PB);
+      }
+    };
+    Probe(QA);
+    Probe(QB);
+    return After - Before;
+  };
+  for (int Sweep = 0; Sweep < Params.MappingSweeps; ++Sweep) {
+    bool Improved = false;
+    for (int QA = 0; QA < N; ++QA)
+      for (int QB = QA + 1; QB < N; ++QB)
+        if (DeltaForSwap(QA, QB) < -1e-12) {
+          std::swap(PositionOf[QA], PositionOf[QB]);
+          Improved = true;
+        }
+    if (!Improved)
+      break;
+  }
+
+  // Stage 2: ASAP layering of CZ gates; one AOD move + one Rydberg pulse
+  // per layer.
+  std::vector<size_t> QubitLayer(N, 0);
+  std::vector<double> LayerMoveDistance;
+  std::vector<size_t> LayerSize;
+  for (auto [A, B] : CzGates) {
+    size_t Layer = std::max(QubitLayer[A], QubitLayer[B]);
+    QubitLayer[A] = QubitLayer[B] = Layer + 1;
+    if (Layer >= LayerMoveDistance.size()) {
+      LayerMoveDistance.resize(Layer + 1, 0);
+      LayerSize.resize(Layer + 1, 0);
+    }
+    double Dist =
+        std::abs(PositionOf[A] - PositionOf[B]) * Params.AtomSpacing;
+    LayerMoveDistance[Layer] = std::max(LayerMoveDistance[Layer], Dist);
+    LayerSize[Layer]++;
+  }
+  size_t Layers = LayerMoveDistance.size();
+
+  R.CompileSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  const fpqa::HardwareParams &Hw = Params.Hw;
+  // Pulses: one Raman per 1-qubit gate, and per layer one shuttle batch,
+  // one pick-up/put-down transfer pair and one Rydberg pulse.
+  R.Pulses = OneQubitGates + Layers * 4;
+  R.TwoQubitGates = CzGates.size();
+
+  double MoveTime = 0;
+  for (double D : LayerMoveDistance)
+    MoveTime += D / Hw.ShuttleSpeedUmPerSec;
+  R.ExecutionSeconds = OneQubitGates * Hw.RamanLocalTime +
+                       Layers * (2 * Hw.TransferTime + Hw.RydbergTime) +
+                       MoveTime;
+
+  double EpsLog = 0;
+  EpsLog += static_cast<double>(CzGates.size()) * std::log(Hw.CzFidelity);
+  EpsLog += static_cast<double>(OneQubitGates) * std::log(Hw.RamanFidelity);
+  EpsLog += static_cast<double>(2 * Layers) * std::log(Hw.TransferFidelity);
+  EpsLog -= N * R.ExecutionSeconds / Hw.T2;
+  R.Eps = std::exp(EpsLog);
+  return R;
+}

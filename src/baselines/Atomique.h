@@ -1,0 +1,49 @@
+//===- baselines/Atomique.h - Atomique-style FPQA compiler -----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of the cost structure of Atomique [Wang et al. 2024]:
+/// a movement-based FPQA compiler restricted to 2-qubit gates. The
+/// pipeline is (1) qubit-array mapping — a SABRE-flavoured O(N^3)
+/// hill-climbing refinement of the 1-D atom order that minimises total
+/// movement, the stage the paper's Table 2 attributes Atomique's cubic
+/// complexity to — and (2) ASAP layering of CZ gates, where each layer
+/// executes with one parallel AOD move plus one global Rydberg pulse.
+/// Single-qubit gates remain individual Raman pulses (Atomique does not
+/// compress clause fragments, hence its higher pulse counts in Fig. 10b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_BASELINES_ATOMIQUE_H
+#define WEAVER_BASELINES_ATOMIQUE_H
+
+#include "baselines/Result.h"
+#include "fpqa/HardwareParams.h"
+#include "qaoa/Builder.h"
+#include "sat/Cnf.h"
+
+namespace weaver {
+namespace baselines {
+
+/// Atomique knobs.
+struct AtomiqueParams {
+  fpqa::HardwareParams Hw;
+  /// Atom pitch of the fixed array (micrometers).
+  double AtomSpacing = 6.0;
+  /// Hill-climbing sweeps over all O(N^2) adjacent-order swaps.
+  int MappingSweeps = 6;
+};
+
+/// Compiles the QAOA program for \p Formula in the Atomique style.
+BaselineResult compileAtomique(
+    const sat::CnfFormula &Formula,
+    const qaoa::QaoaParams &Qaoa = qaoa::QaoaParams(),
+    const AtomiqueParams &Params = AtomiqueParams());
+
+} // namespace baselines
+} // namespace weaver
+
+#endif // WEAVER_BASELINES_ATOMIQUE_H

@@ -1,0 +1,117 @@
+//===- baselines/CouplingMap.cpp - QPU connectivity graphs ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/CouplingMap.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace weaver;
+using namespace weaver::baselines;
+
+std::vector<int> CouplingMap::distancesFrom(int Source) const {
+  std::vector<int> Dist(numQubits(), -1);
+  std::deque<int> Queue{Source};
+  Dist[Source] = 0;
+  while (!Queue.empty()) {
+    int Q = Queue.front();
+    Queue.pop_front();
+    for (int N : Adj[Q])
+      if (Dist[N] == -1) {
+        Dist[N] = Dist[Q] + 1;
+        Queue.push_back(N);
+      }
+  }
+  return Dist;
+}
+
+std::vector<std::vector<int>> CouplingMap::allPairsDistances() const {
+  std::vector<std::vector<int>> All;
+  All.reserve(numQubits());
+  for (int Q = 0; Q < numQubits(); ++Q)
+    All.push_back(distancesFrom(Q));
+  return All;
+}
+
+std::vector<int> CouplingMap::shortestPath(int A, int B) const {
+  std::vector<int> Parent(numQubits(), -1);
+  std::vector<bool> Seen(numQubits(), false);
+  std::deque<int> Queue{A};
+  Seen[A] = true;
+  while (!Queue.empty()) {
+    int Q = Queue.front();
+    Queue.pop_front();
+    if (Q == B)
+      break;
+    for (int N : Adj[Q])
+      if (!Seen[N]) {
+        Seen[N] = true;
+        Parent[N] = Q;
+        Queue.push_back(N);
+      }
+  }
+  std::vector<int> Path;
+  for (int Q = B; Q != -1; Q = Parent[Q]) {
+    Path.push_back(Q);
+    if (Q == A)
+      break;
+  }
+  std::reverse(Path.begin(), Path.end());
+  assert(!Path.empty() && Path.front() == A && "qubits are disconnected");
+  return Path;
+}
+
+CouplingMap baselines::makeHeavyHex(int MinQubits) {
+  // A heavy-hex lattice alternates long rows of qubits connected in a line
+  // with sparse bridge rows; IBM Washington uses RowLength = 15 with
+  // bridges every 4 sites, giving 127 qubits over 7 long rows.
+  constexpr int RowLength = 15;
+  constexpr int BridgeStride = 4;
+  std::vector<std::vector<int>> LongRows;
+  std::vector<int> RowStart;
+  int Next = 0;
+  CouplingMap Map(0);
+
+  // First pass: count qubits until we reach MinQubits.
+  std::vector<std::pair<int, int>> Edges;
+  std::vector<int> PrevRow;
+  while (Next < MinQubits) {
+    std::vector<int> Row(RowLength);
+    for (int I = 0; I < RowLength; ++I)
+      Row[I] = Next++;
+    for (int I = 0; I + 1 < RowLength; ++I)
+      Edges.push_back({Row[I], Row[I + 1]});
+    if (!PrevRow.empty()) {
+      // Bridge qubits connect the rows every BridgeStride sites, offset
+      // alternately (heavy-hex brick pattern).
+      int Offset = (LongRows.size() % 2) ? 2 : 0;
+      for (int I = Offset; I < RowLength; I += BridgeStride) {
+        int Bridge = Next++;
+        Edges.push_back({PrevRow[I], Bridge});
+        Edges.push_back({Bridge, Row[I]});
+      }
+    }
+    LongRows.push_back(Row);
+    PrevRow = Row;
+  }
+  CouplingMap Result(Next);
+  for (auto [A, B] : Edges)
+    Result.addEdge(A, B);
+  return Result;
+}
+
+CouplingMap baselines::makeGrid(int RowLength, int Rows) {
+  CouplingMap Map(RowLength * Rows);
+  for (int R = 0; R < Rows; ++R)
+    for (int C = 0; C < RowLength; ++C) {
+      int Q = R * RowLength + C;
+      if (C + 1 < RowLength)
+        Map.addEdge(Q, Q + 1);
+      if (R + 1 < Rows)
+        Map.addEdge(Q, Q + RowLength);
+    }
+  return Map;
+}

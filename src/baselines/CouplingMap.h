@@ -1,0 +1,79 @@
+//===- baselines/CouplingMap.h - QPU connectivity graphs -------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Undirected qubit connectivity graphs and the heavy-hex generator used to
+/// model the paper's superconducting backend (IBM Washington, 127 qubits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_BASELINES_COUPLINGMAP_H
+#define WEAVER_BASELINES_COUPLINGMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace weaver {
+namespace baselines {
+
+/// An undirected connectivity graph over physical qubits.
+class CouplingMap {
+public:
+  explicit CouplingMap(int NumQubits) : Adj(NumQubits) {}
+
+  int numQubits() const { return static_cast<int>(Adj.size()); }
+
+  void addEdge(int A, int B) {
+    assert(A != B && A >= 0 && B >= 0 && A < numQubits() && B < numQubits() &&
+           "invalid coupling edge");
+    if (!areAdjacent(A, B)) {
+      Adj[A].push_back(B);
+      Adj[B].push_back(A);
+    }
+  }
+
+  bool areAdjacent(int A, int B) const {
+    for (int N : Adj[A])
+      if (N == B)
+        return true;
+    return false;
+  }
+
+  const std::vector<int> &neighbours(int Q) const { return Adj[Q]; }
+
+  size_t numEdges() const {
+    size_t Total = 0;
+    for (const auto &N : Adj)
+      Total += N.size();
+    return Total / 2;
+  }
+
+  /// BFS distances from \p Source to every qubit (-1 if unreachable).
+  std::vector<int> distancesFrom(int Source) const;
+
+  /// All-pairs distance matrix (BFS per vertex).
+  std::vector<std::vector<int>> allPairsDistances() const;
+
+  /// Shortest path between \p A and \p B (inclusive endpoints).
+  std::vector<int> shortestPath(int A, int B) const;
+
+private:
+  std::vector<std::vector<int>> Adj;
+};
+
+/// Builds an IBM-heavy-hex-style lattice with approximately
+/// \p MinQubits qubits (always >= MinQubits); 127 reproduces Washington.
+CouplingMap makeHeavyHex(int MinQubits);
+
+/// Builds a simple RowLength x Rows grid (used by the Atomique baseline's
+/// fixed atom array).
+CouplingMap makeGrid(int RowLength, int Rows);
+
+} // namespace baselines
+} // namespace weaver
+
+#endif // WEAVER_BASELINES_COUPLINGMAP_H

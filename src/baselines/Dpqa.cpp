@@ -1,0 +1,175 @@
+//===- baselines/Dpqa.cpp - DPQA-style exhaustive scheduler ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Dpqa.h"
+
+#include "circuit/Decompose.h"
+#include "sim/Optimize.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace weaver;
+using namespace weaver::baselines;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Joint window scheduler: assigns every gate of the window to a Rydberg
+/// stage, minimising the number of stages, by exhaustive branch-and-bound
+/// — the stand-in for DPQA's SMT encoding, whose cost grows exponentially
+/// with the window (Table 2's O(2^K)). A stage must be qubit-disjoint and
+/// non-crossing: sorting its pairs by static endpoint, the moving
+/// endpoints must be sorted too (AOD rows/columns cannot cross).
+struct JointScheduler {
+  const std::vector<std::pair<int, int>> &Window;
+  Clock::time_point Deadline;
+  bool TimedOut = false;
+
+  std::vector<std::vector<int>> Stages; ///< current partial assignment
+  std::vector<std::vector<int>> BestStages;
+  size_t BestCount = SIZE_MAX;
+  long NodeBudgetCheck = 0;
+
+  bool compatible(int Gate, const std::vector<int> &Stage) const {
+    auto [A, B] = Window[Gate];
+    for (int Other : Stage) {
+      auto [CA, CB] = Window[Other];
+      if (A == CA || A == CB || B == CA || B == CB)
+        return false;
+      bool LowOrder = std::min(A, B) < std::min(CA, CB);
+      bool HighOrder = std::max(A, B) < std::max(CA, CB);
+      if (LowOrder != HighOrder)
+        return false; // crossing movement
+    }
+    return true;
+  }
+
+  void search(size_t Gate) {
+    if (TimedOut)
+      return;
+    if ((++NodeBudgetCheck & 0x3ff) == 0 && Clock::now() > Deadline) {
+      TimedOut = true;
+      return;
+    }
+    if (Stages.size() >= BestCount)
+      return; // bound: already as many stages as the incumbent
+    if (Gate == Window.size()) {
+      BestCount = Stages.size();
+      BestStages = Stages;
+      return;
+    }
+    // Index-based access: the new-stage branch below reallocates Stages,
+    // which would invalidate references held by outer frames.
+    for (size_t SI = 0, SE = Stages.size(); SI < SE; ++SI) {
+      if (!compatible(static_cast<int>(Gate), Stages[SI]))
+        continue;
+      Stages[SI].push_back(static_cast<int>(Gate));
+      search(Gate + 1);
+      Stages[SI].pop_back();
+      if (TimedOut)
+        return;
+    }
+    if (Stages.size() + 1 >= BestCount)
+      return; // opening another stage cannot beat the incumbent
+    Stages.push_back({static_cast<int>(Gate)});
+    search(Gate + 1);
+    Stages.pop_back();
+  }
+};
+
+} // namespace
+
+BaselineResult baselines::compileDpqa(const sat::CnfFormula &Formula,
+                                      const qaoa::QaoaParams &Qaoa,
+                                      const DpqaParams &Params) {
+  BaselineResult R;
+  R.Compiler = "dpqa";
+  auto Start = Clock::now();
+  auto Deadline =
+      Start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(Params.DeadlineSeconds));
+
+  qaoa::QaoaParams P = Qaoa;
+  P.UseCompressedClauses = false;
+  Circuit Logical = qaoa::buildQaoaCircuit(Formula, P);
+  circuit::BasisOptions Basis;
+  Basis.KeepCcz = false;
+  Circuit Native = circuit::translateToBasis(Logical, Basis);
+  // DPQA merges adjacent single-qubit runs aggressively.
+  Circuit Merged = sim::mergeSingleQubitRuns(Native);
+
+  size_t OneQubitGates = 0;
+  std::vector<std::pair<int, int>> CzGates;
+  for (const Gate &G : Merged) {
+    if (G.kind() == GateKind::CZ)
+      CzGates.push_back({G.qubit(0), G.qubit(1)});
+    else if (G.numQubits() == 1 && G.kind() != GateKind::Measure)
+      ++OneQubitGates;
+  }
+
+  // Window-by-window joint scheduling. The QAOA phase-separation CZ
+  // network is diagonal, so all its gates commute and the scheduler may
+  // re-order freely within a window. The window size (like the SMT
+  // formula's variable count) grows with the register, which is what
+  // makes larger instances blow past the deadline.
+  int N = Merged.numQubits();
+  size_t WindowSize = std::min<size_t>(std::max(8, N + 1),
+                                       static_cast<size_t>(Params.MaxFrontier));
+  std::vector<double> StageMoveDistance;
+  std::vector<size_t> StageSizes;
+  for (size_t Begin = 0; Begin < CzGates.size(); Begin += WindowSize) {
+    size_t End = std::min(Begin + WindowSize, CzGates.size());
+    std::vector<std::pair<int, int>> Window(CzGates.begin() + Begin,
+                                            CzGates.begin() + End);
+    JointScheduler Scheduler{Window, Deadline};
+    Scheduler.search(0);
+    if (Scheduler.TimedOut) {
+      R.TimedOut = true;
+      R.CompileSeconds =
+          std::chrono::duration<double>(Clock::now() - Start).count();
+      return R;
+    }
+    assert(Scheduler.BestCount != SIZE_MAX && "scheduler found no solution");
+    for (const std::vector<int> &Stage : Scheduler.BestStages) {
+      double MaxDist = 0;
+      for (int GI : Stage) {
+        auto [A, B] = Window[GI];
+        MaxDist = std::max(MaxDist, std::abs(A - B) * Params.AtomSpacing);
+      }
+      StageMoveDistance.push_back(MaxDist);
+      StageSizes.push_back(Stage.size());
+    }
+  }
+
+  R.CompileSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  const fpqa::HardwareParams &Hw = Params.Hw;
+  size_t Stages = StageSizes.size();
+  // Pulses: merged Raman rotations + per stage one shuttle batch and one
+  // Rydberg pulse (atoms live in the AOD; no transfer churn).
+  R.Pulses = OneQubitGates + Stages * 2;
+  R.TwoQubitGates = CzGates.size();
+
+  double MoveTime = 0;
+  for (double D : StageMoveDistance)
+    MoveTime += D / Hw.ShuttleSpeedUmPerSec;
+  R.ExecutionSeconds =
+      OneQubitGates * Hw.RamanLocalTime + Stages * Hw.RydbergTime + MoveTime;
+
+  double EpsLog = 0;
+  EpsLog += static_cast<double>(CzGates.size()) * std::log(Hw.CzFidelity);
+  EpsLog += static_cast<double>(OneQubitGates) * std::log(Hw.RamanFidelity);
+  EpsLog -= N * R.ExecutionSeconds / Hw.T2;
+  R.Eps = std::exp(EpsLog);
+  return R;
+}

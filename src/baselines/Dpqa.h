@@ -1,0 +1,53 @@
+//===- baselines/Dpqa.h - DPQA-style exhaustive scheduler ------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of the cost structure of DPQA [Tan et al., Quantum
+/// 2024]: an (SMT-style) exhaustive scheduler for dynamically
+/// field-programmable atom arrays. Executable 2-qubit gates are batched
+/// into parallel Rydberg stages; each stage must be a *non-crossing*
+/// matching (AOD rows/columns cannot cross while moving, so the moving
+/// partners must preserve the static partners' order). The scheduler
+/// searches the subsets of the ready frontier exhaustively with
+/// branch-and-bound — the O(2^K) behaviour of the paper's Table 2 — under
+/// a wall-clock deadline, which reproduces DPQA's timeouts above 20
+/// variables. Single-qubit runs are merged first (DPQA's aggressive
+/// optimisation), which is why it emits the fewest pulses (Fig. 10b)
+/// while paying long movement times (Fig. 11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_BASELINES_DPQA_H
+#define WEAVER_BASELINES_DPQA_H
+
+#include "baselines/Result.h"
+#include "fpqa/HardwareParams.h"
+#include "qaoa/Builder.h"
+#include "sat/Cnf.h"
+
+namespace weaver {
+namespace baselines {
+
+/// DPQA knobs.
+struct DpqaParams {
+  fpqa::HardwareParams Hw;
+  double AtomSpacing = 6.0; ///< fixed-layer pitch (micrometers)
+  /// Wall-clock deadline; exceeding it marks the result TimedOut.
+  double DeadlineSeconds = 60.0;
+  /// Hard cap on the scheduling window enumerated exhaustively per stage
+  /// (the effective window is min(max(8, qubits), MaxFrontier)).
+  int MaxFrontier = 30;
+};
+
+/// Compiles the QAOA program for \p Formula in the DPQA style.
+BaselineResult compileDpqa(const sat::CnfFormula &Formula,
+                           const qaoa::QaoaParams &Qaoa = qaoa::QaoaParams(),
+                           const DpqaParams &Params = DpqaParams());
+
+} // namespace baselines
+} // namespace weaver
+
+#endif // WEAVER_BASELINES_DPQA_H

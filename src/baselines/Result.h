@@ -1,0 +1,43 @@
+//===- baselines/Result.h - Common baseline metrics ------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metric record every compiler (Weaver and the four baselines)
+/// produces for the evaluation harness: compile time (Fig. 8), pulse count
+/// (Fig. 10b), execution time (Fig. 11) and EPS (Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_BASELINES_RESULT_H
+#define WEAVER_BASELINES_RESULT_H
+
+#include <cstddef>
+#include <string>
+
+namespace weaver {
+namespace baselines {
+
+/// Per-compilation metrics, uniform across compilers.
+struct BaselineResult {
+  std::string Compiler;
+  bool TimedOut = false;      ///< compiler hit its deadline (rendered "X")
+  bool Unsupported = false;   ///< instance exceeds the backend (SC > 127q)
+  double CompileSeconds = 0;
+  size_t Pulses = 0;          ///< laser pulses / gate operations issued
+  size_t TwoQubitGates = 0;
+  size_t ThreeQubitGates = 0;
+  size_t SwapGates = 0;       ///< routing overhead (superconducting)
+  double ExecutionSeconds = 0;
+  double Eps = 0;             ///< estimated probability of success
+  bool EpsMeaningful = true;  ///< Geyser's block approximation excludes EPS
+
+  bool usable() const { return !TimedOut && !Unsupported; }
+};
+
+} // namespace baselines
+} // namespace weaver
+
+#endif // WEAVER_BASELINES_RESULT_H

@@ -1,0 +1,52 @@
+//===- baselines/Sabre.h - SABRE-style mapping and routing -----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Qubit layout + SWAP routing in the style of SABRE [Li, Ding, Xie,
+/// ASPLOS'19] — the algorithm behind both the Qiskit superconducting path
+/// and Atomique's mapping stage (paper Table 2 attributes their O(N^3)
+/// complexity to SABRE).
+///
+/// The router processes the gate list in order; a 2-qubit gate between
+/// non-adjacent physical qubits triggers greedy SWAP insertion along a BFS
+/// shortest path. Several routing trials with rotated initial layouts are
+/// run and the cheapest result kept, mirroring Qiskit's stochastic trials.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_BASELINES_SABRE_H
+#define WEAVER_BASELINES_SABRE_H
+
+#include "baselines/CouplingMap.h"
+#include "circuit/Circuit.h"
+#include "support/Status.h"
+
+namespace weaver {
+namespace baselines {
+
+/// Routing configuration.
+struct SabreOptions {
+  int Trials = 4; ///< independent layout trials; best (fewest SWAPs) wins
+  uint64_t Seed = 1;
+};
+
+/// Routing outcome: the physical circuit plus overhead counters.
+struct SabreResult {
+  circuit::Circuit Routed; ///< over physical qubits; SWAPs inserted
+  size_t SwapCount = 0;
+  std::vector<int> InitialLayout; ///< logical -> physical
+};
+
+/// Routes \p Logical onto \p Map. Fails when the circuit needs more qubits
+/// than the device offers.
+Expected<SabreResult> routeSabre(const circuit::Circuit &Logical,
+                                 const CouplingMap &Map,
+                                 const SabreOptions &Options = {});
+
+} // namespace baselines
+} // namespace weaver
+
+#endif // WEAVER_BASELINES_SABRE_H

@@ -1,0 +1,61 @@
+//===- baselines/Superconducting.h - Qiskit-style SC compiler --*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The superconducting path of Fig. 3: the hardware-agnostic circuit is
+/// routed onto an IBM-Washington-like 127-qubit heavy-hex device with
+/// SABRE, decomposed to the {U3, CZ} basis (SWAP = 3 CX, §5.3), scheduled
+/// with superconducting gate durations, and scored with the per-gate error
+/// model the paper's evaluation uses. Stands in for the Qiskit transpiler
+/// (DESIGN.md substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_BASELINES_SUPERCONDUCTING_H
+#define WEAVER_BASELINES_SUPERCONDUCTING_H
+
+#include "baselines/Result.h"
+#include "baselines/Sabre.h"
+#include "sat/Cnf.h"
+#include "qaoa/Builder.h"
+
+namespace weaver {
+namespace baselines {
+
+/// IBM-Washington-like calibration constants.
+struct SuperconductingParams {
+  int NumQubits = 127;
+  double OneQubitTime = 35e-9;
+  double TwoQubitTime = 300e-9;
+  double MeasureTime = 800e-9;
+  double OneQubitFidelity = 0.99975;
+  double TwoQubitFidelity = 0.988; ///< median CX on Washington
+  double MeasureFidelity = 0.99;
+  double T2 = 100e-6;
+  SabreOptions Sabre;
+};
+
+/// Compiles an arbitrary hardware-agnostic circuit onto the
+/// superconducting backend — the retargeting path of §4.2 (a wQASM file
+/// with its annotations ignored is a plain OpenQASM circuit that this
+/// function maps onto the heavy-hex device). Marks Unsupported when the
+/// circuit is wider than the device.
+BaselineResult compileSuperconductingCircuit(
+    const circuit::Circuit &Logical,
+    const SuperconductingParams &Params = SuperconductingParams());
+
+/// Compiles the QAOA program for \p Formula onto the superconducting
+/// backend. Marks Unsupported when the formula needs more variables than
+/// the device has qubits (the paper caps SC at 100 variables).
+BaselineResult compileSuperconducting(
+    const sat::CnfFormula &Formula,
+    const qaoa::QaoaParams &Qaoa = qaoa::QaoaParams(),
+    const SuperconductingParams &Params = SuperconductingParams());
+
+} // namespace baselines
+} // namespace weaver
+
+#endif // WEAVER_BASELINES_SUPERCONDUCTING_H

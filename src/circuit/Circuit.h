@@ -1,0 +1,134 @@
+//===- circuit/Circuit.h - Quantum circuit container -----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat quantum circuit container plus builder conveniences and the
+/// statistics (gate histograms, depth) the evaluation reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CIRCUIT_CIRCUIT_H
+#define WEAVER_CIRCUIT_CIRCUIT_H
+
+#include "circuit/Gate.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace circuit {
+
+/// Gate histogram and derived counts for a circuit.
+struct CircuitStats {
+  std::array<size_t, NumGateKinds> CountByKind = {};
+  size_t OneQubitGates = 0;
+  size_t TwoQubitGates = 0;
+  size_t ThreeQubitGates = 0;
+  size_t TotalGates = 0; ///< excludes barriers and measurements
+  size_t Depth = 0;      ///< circuit depth over non-barrier gates
+};
+
+/// An ordered list of gates over a fixed qubit register.
+///
+/// Qubit indices are dense [0, numQubits()). The class offers builder-style
+/// helpers (h(), cz(), ...) so construction sites read like QASM.
+class Circuit {
+public:
+  Circuit() = default;
+  explicit Circuit(int NumQubits, std::string Name = "")
+      : QubitCount(NumQubits), Name(std::move(Name)) {
+    assert(NumQubits >= 0 && "negative qubit count");
+  }
+
+  int numQubits() const { return QubitCount; }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  size_t size() const { return Gates.size(); }
+  bool empty() const { return Gates.empty(); }
+  const Gate &gate(size_t I) const {
+    assert(I < Gates.size() && "gate index out of range");
+    return Gates[I];
+  }
+  const std::vector<Gate> &gates() const { return Gates; }
+  auto begin() const { return Gates.begin(); }
+  auto end() const { return Gates.end(); }
+
+  /// Appends \p G after checking its operands are in range and distinct.
+  void append(const Gate &G);
+
+  /// Appends every gate of \p Other (qubit counts must match).
+  void appendCircuit(const Circuit &Other);
+
+  // Builder conveniences; each returns *this for chaining.
+  Circuit &id(int Q) { return add(GateKind::I, {Q}); }
+  Circuit &x(int Q) { return add(GateKind::X, {Q}); }
+  Circuit &y(int Q) { return add(GateKind::Y, {Q}); }
+  Circuit &z(int Q) { return add(GateKind::Z, {Q}); }
+  Circuit &h(int Q) { return add(GateKind::H, {Q}); }
+  Circuit &s(int Q) { return add(GateKind::S, {Q}); }
+  Circuit &sdg(int Q) { return add(GateKind::Sdg, {Q}); }
+  Circuit &t(int Q) { return add(GateKind::T, {Q}); }
+  Circuit &tdg(int Q) { return add(GateKind::Tdg, {Q}); }
+  Circuit &rx(double Theta, int Q) { return add(GateKind::RX, {Q}, {Theta}); }
+  Circuit &ry(double Theta, int Q) { return add(GateKind::RY, {Q}, {Theta}); }
+  Circuit &rz(double Theta, int Q) { return add(GateKind::RZ, {Q}, {Theta}); }
+  Circuit &u3(double Theta, double Phi, double Lambda, int Q) {
+    return add(GateKind::U3, {Q}, {Theta, Phi, Lambda});
+  }
+  Circuit &cx(int Control, int Target) {
+    return add(GateKind::CX, {Control, Target});
+  }
+  Circuit &cz(int A, int B) { return add(GateKind::CZ, {A, B}); }
+  Circuit &swap(int A, int B) { return add(GateKind::SWAP, {A, B}); }
+  Circuit &rzz(double Theta, int A, int B) {
+    return add(GateKind::RZZ, {A, B}, {Theta});
+  }
+  Circuit &ccx(int C1, int C2, int Target) {
+    return add(GateKind::CCX, {C1, C2, Target});
+  }
+  Circuit &ccz(int A, int B, int C) { return add(GateKind::CCZ, {A, B, C}); }
+  Circuit &barrier() { return add(GateKind::Barrier, {}); }
+  Circuit &measure(int Q) { return add(GateKind::Measure, {Q}); }
+  Circuit &measureAll() {
+    for (int Q = 0; Q < QubitCount; ++Q)
+      measure(Q);
+    return *this;
+  }
+
+  /// Computes the gate histogram and depth.
+  CircuitStats stats() const;
+
+  /// Circuit depth counting only non-barrier, non-measure gates.
+  size_t depth() const { return stats().Depth; }
+
+  /// Returns the number of gates of kind \p Kind.
+  size_t count(GateKind Kind) const;
+
+  /// Returns a copy with measurements and barriers removed (for unitary
+  /// equivalence checking).
+  Circuit withoutNonUnitary() const;
+
+  /// Renders one gate per line, for diagnostics and golden tests.
+  std::string str() const;
+
+private:
+  Circuit &add(GateKind Kind, std::initializer_list<int> Qubits,
+               std::initializer_list<double> Params = {}) {
+    append(Gate(Kind, Qubits, Params));
+    return *this;
+  }
+
+  int QubitCount = 0;
+  std::vector<Gate> Gates;
+  std::string Name;
+};
+
+} // namespace circuit
+} // namespace weaver
+
+#endif // WEAVER_CIRCUIT_CIRCUIT_H

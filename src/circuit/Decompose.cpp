@@ -1,0 +1,158 @@
+//===- circuit/Decompose.cpp - Gate decomposition & basis synthesis ------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Decompose.h"
+
+#include <cmath>
+
+using namespace weaver;
+using namespace weaver::circuit;
+
+namespace {
+constexpr double Pi = 3.14159265358979323846;
+} // namespace
+
+void circuit::u3ParamsFor(const Gate &G, double &Theta, double &Phi,
+                          double &Lambda) {
+  switch (G.kind()) {
+  case GateKind::I:
+    Theta = Phi = Lambda = 0;
+    return;
+  case GateKind::X:
+    Theta = Pi, Phi = 0, Lambda = Pi;
+    return;
+  case GateKind::Y:
+    Theta = Pi, Phi = Pi / 2, Lambda = Pi / 2;
+    return;
+  case GateKind::Z:
+    Theta = 0, Phi = 0, Lambda = Pi;
+    return;
+  case GateKind::H:
+    Theta = Pi / 2, Phi = 0, Lambda = Pi;
+    return;
+  case GateKind::S:
+    Theta = 0, Phi = 0, Lambda = Pi / 2;
+    return;
+  case GateKind::Sdg:
+    Theta = 0, Phi = 0, Lambda = -Pi / 2;
+    return;
+  case GateKind::T:
+    Theta = 0, Phi = 0, Lambda = Pi / 4;
+    return;
+  case GateKind::Tdg:
+    Theta = 0, Phi = 0, Lambda = -Pi / 4;
+    return;
+  case GateKind::RX:
+    Theta = G.param(0), Phi = -Pi / 2, Lambda = Pi / 2;
+    return;
+  case GateKind::RY:
+    Theta = G.param(0), Phi = 0, Lambda = 0;
+    return;
+  case GateKind::RZ:
+    Theta = 0, Phi = 0, Lambda = G.param(0);
+    return;
+  case GateKind::U3:
+    Theta = G.param(0), Phi = G.param(1), Lambda = G.param(2);
+    return;
+  default:
+    assert(false && "u3ParamsFor requires a 1-qubit unitary gate");
+  }
+}
+
+void circuit::appendCxAsCz(Circuit &Out, int Control, int Target) {
+  Out.u3(Pi / 2, 0, Pi, Target);
+  Out.cz(Control, Target);
+  Out.u3(Pi / 2, 0, Pi, Target);
+}
+
+void circuit::appendSwapAsCx(Circuit &Out, int A, int B) {
+  Out.cx(A, B);
+  Out.cx(B, A);
+  Out.cx(A, B);
+}
+
+void circuit::appendCczAsTwoQubit(Circuit &Out, int A, int B, int C) {
+  // CCX = H(c) · [this network] · H(c); folding the Hadamards away yields
+  // the CCZ form directly (Nielsen & Chuang, 6 CX + 7 T-layer gates).
+  Out.cx(B, C);
+  Out.tdg(C);
+  Out.cx(A, C);
+  Out.t(C);
+  Out.cx(B, C);
+  Out.tdg(C);
+  Out.cx(A, C);
+  Out.t(B);
+  Out.t(C);
+  Out.cx(A, B);
+  Out.t(A);
+  Out.tdg(B);
+  Out.cx(A, B);
+}
+
+Circuit circuit::translateToBasis(const Circuit &C,
+                                  const BasisOptions &Options) {
+  Circuit Mid(C.numQubits(), C.name());
+  // Phase 1: reduce multi-qubit gates to {CZ, CCZ?, CX} + 1q gates.
+  for (const Gate &G : C) {
+    switch (G.kind()) {
+    case GateKind::CX:
+      Mid.cx(G.qubit(0), G.qubit(1));
+      break;
+    case GateKind::SWAP:
+      appendSwapAsCx(Mid, G.qubit(0), G.qubit(1));
+      break;
+    case GateKind::RZZ:
+      Mid.cx(G.qubit(0), G.qubit(1));
+      Mid.rz(G.param(0), G.qubit(1));
+      Mid.cx(G.qubit(0), G.qubit(1));
+      break;
+    case GateKind::CCX:
+      Mid.h(G.qubit(2));
+      if (Options.KeepCcz)
+        Mid.ccz(G.qubit(0), G.qubit(1), G.qubit(2));
+      else
+        appendCczAsTwoQubit(Mid, G.qubit(0), G.qubit(1), G.qubit(2));
+      Mid.h(G.qubit(2));
+      break;
+    case GateKind::CCZ:
+      if (Options.KeepCcz)
+        Mid.ccz(G.qubit(0), G.qubit(1), G.qubit(2));
+      else
+        appendCczAsTwoQubit(Mid, G.qubit(0), G.qubit(1), G.qubit(2));
+      break;
+    default:
+      Mid.append(G);
+      break;
+    }
+  }
+  // Phase 2: map every 1-qubit gate to U3 and every CX to H·CZ·H.
+  Circuit Out(C.numQubits(), C.name());
+  for (const Gate &G : Mid) {
+    switch (G.kind()) {
+    case GateKind::Barrier:
+    case GateKind::Measure:
+    case GateKind::CZ:
+    case GateKind::CCZ:
+      Out.append(G);
+      break;
+    case GateKind::CX:
+      appendCxAsCz(Out, G.qubit(0), G.qubit(1));
+      break;
+    case GateKind::I:
+      if (!Options.DropIdentities)
+        Out.u3(0, 0, 0, G.qubit(0));
+      break;
+    default: {
+      assert(G.numQubits() == 1 && "unexpected multi-qubit gate in phase 2");
+      double Theta, Phi, Lambda;
+      u3ParamsFor(G, Theta, Phi, Lambda);
+      Out.u3(Theta, Phi, Lambda, G.qubit(0));
+      break;
+    }
+    }
+  }
+  return Out;
+}

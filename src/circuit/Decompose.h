@@ -1,0 +1,54 @@
+//===- circuit/Decompose.h - Gate decomposition & basis synthesis -*- C++ -*-//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textbook gate decompositions and the native-gate-synthesis pass of the
+/// paper's hardware-agnostic stage (§3/§7): every circuit is lowered to the
+/// basis B = {U3, CZ}, optionally keeping CCZ native for the FPQA path
+/// (Rydberg pulses implement CZ and CCZ directly; §2.3, §5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CIRCUIT_DECOMPOSE_H
+#define WEAVER_CIRCUIT_DECOMPOSE_H
+
+#include "circuit/Circuit.h"
+
+namespace weaver {
+namespace circuit {
+
+/// Options for \c translateToBasis.
+struct BasisOptions {
+  /// Keep CCZ as a native 3-qubit gate (FPQA path). When false, CCZ/CCX are
+  /// decomposed into the standard 6-CX network (superconducting path).
+  bool KeepCcz = false;
+  /// Drop identity gates instead of emitting U3(0,0,0).
+  bool DropIdentities = true;
+};
+
+/// Lowers every gate of \p C to the native set {U3, CZ} (plus CCZ when
+/// \p Options.KeepCcz). Barriers and measurements pass through unchanged.
+Circuit translateToBasis(const Circuit &C, const BasisOptions &Options = {});
+
+/// Returns the U3 parameters (theta, phi, lambda) equivalent (up to global
+/// phase) to the 1-qubit gate \p G. \p G must be a 1-qubit non-measure gate.
+void u3ParamsFor(const Gate &G, double &Theta, double &Phi, double &Lambda);
+
+/// Appends the standard 6-CX + T-layer decomposition of CCZ(a, b, c) to
+/// \p Out (Nielsen & Chuang Fig. 4.9 with the outer Hadamards folded away).
+void appendCczAsTwoQubit(Circuit &Out, int A, int B, int C);
+
+/// Appends CX(control, target) as H(target) CZ H(target).
+void appendCxAsCz(Circuit &Out, int Control, int Target);
+
+/// Appends SWAP(a, b) as the 3-CX network the paper cites for
+/// superconducting routing overhead (§5.3).
+void appendSwapAsCx(Circuit &Out, int A, int B);
+
+} // namespace circuit
+} // namespace weaver
+
+#endif // WEAVER_CIRCUIT_DECOMPOSE_H

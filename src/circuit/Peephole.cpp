@@ -1,0 +1,136 @@
+//===- circuit/Peephole.cpp - Local circuit simplification -----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Peephole.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+using namespace weaver;
+using namespace weaver::circuit;
+
+namespace {
+
+bool isSelfInverse(GateKind Kind) {
+  switch (Kind) {
+  case GateKind::X:
+  case GateKind::Y:
+  case GateKind::Z:
+  case GateKind::H:
+  case GateKind::CX:
+  case GateKind::CZ:
+  case GateKind::SWAP:
+  case GateKind::CCX:
+  case GateKind::CCZ:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isAxisRotation(GateKind Kind) {
+  return Kind == GateKind::RX || Kind == GateKind::RY ||
+         Kind == GateKind::RZ || Kind == GateKind::RZZ;
+}
+
+/// Same kind and identical operand lists (order matters except for the
+/// symmetric CZ/CCZ/SWAP/RZZ, where sorted comparison applies).
+bool sameOperands(const Gate &A, const Gate &B) {
+  if (A.kind() != B.kind() || A.numQubits() != B.numQubits())
+    return false;
+  bool Symmetric = A.kind() == GateKind::CZ || A.kind() == GateKind::CCZ ||
+                   A.kind() == GateKind::SWAP || A.kind() == GateKind::RZZ;
+  if (!Symmetric) {
+    for (unsigned I = 0, E = A.numQubits(); I < E; ++I)
+      if (A.qubit(I) != B.qubit(I))
+        return false;
+    return true;
+  }
+  std::vector<int> QA, QB;
+  for (unsigned I = 0, E = A.numQubits(); I < E; ++I) {
+    QA.push_back(A.qubit(I));
+    QB.push_back(B.qubit(I));
+  }
+  std::sort(QA.begin(), QA.end());
+  std::sort(QB.begin(), QB.end());
+  return QA == QB;
+}
+
+/// Index of the next live gate after \p From that shares a qubit with
+/// \p G, or -1. Used to find the "adjacent" partner.
+int nextTouching(const std::vector<std::optional<Gate>> &Gates, size_t From,
+                 const Gate &G) {
+  for (size_t J = From; J < Gates.size(); ++J) {
+    if (!Gates[J])
+      continue;
+    if (Gates[J]->overlaps(G))
+      return static_cast<int>(J);
+  }
+  return -1;
+}
+
+} // namespace
+
+Circuit circuit::peepholeOptimize(const Circuit &C, PeepholeStats *OutStats) {
+  PeepholeStats Stats;
+  std::vector<std::optional<Gate>> Gates(C.gates().begin(), C.gates().end());
+
+  bool Changed = true;
+  for (int Pass = 0; Pass < 16 && Changed; ++Pass) {
+    Changed = false;
+    for (size_t I = 0; I < Gates.size(); ++I) {
+      if (!Gates[I])
+        continue;
+      Gate &G = *Gates[I];
+      if (G.kind() == GateKind::Barrier || G.kind() == GateKind::Measure)
+        continue;
+      // Drop identities / zero rotations.
+      if (G.kind() == GateKind::I ||
+          (isAxisRotation(G.kind()) && std::abs(G.param(0)) < 1e-14) ||
+          (G.kind() == GateKind::U3 && std::abs(G.param(0)) < 1e-14 &&
+           std::abs(G.param(1) + G.param(2)) < 1e-14)) {
+        Gates[I].reset();
+        Stats.DroppedIdentities++;
+        Changed = true;
+        continue;
+      }
+      int J = nextTouching(Gates, I + 1, G);
+      if (J < 0)
+        continue;
+      const Gate &Next = *Gates[J];
+      // Cancellation of adjacent self-inverse pairs.
+      if (isSelfInverse(G.kind()) && sameOperands(G, Next)) {
+        Gates[I].reset();
+        Gates[J].reset();
+        Stats.CancelledPairs++;
+        Changed = true;
+        continue;
+      }
+      // Merge adjacent same-axis rotations on identical operands.
+      if (isAxisRotation(G.kind()) && sameOperands(G, Next)) {
+        double Sum = G.param(0) + Next.param(0);
+        Gates[J].reset();
+        if (G.numQubits() == 1)
+          G = Gate(G.kind(), {G.qubit(0)}, {Sum});
+        else
+          G = Gate(G.kind(), {G.qubit(0), G.qubit(1)}, {Sum});
+        Stats.MergedRotations++;
+        Changed = true;
+        continue;
+      }
+    }
+  }
+
+  Circuit Out(C.numQubits(), C.name());
+  for (const auto &G : Gates)
+    if (G)
+      Out.append(*G);
+  if (OutStats)
+    *OutStats = Stats;
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- circuit/Peephole.h - Local circuit simplification -------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap structural peephole rules applied before backend lowering:
+///   * adjacent self-inverse pairs cancel (H-H, X-X, CZ-CZ, CX-CX, ...),
+///   * adjacent rotations about the same axis merge (RZ+RZ, RX+RX, ...),
+///   * zero-angle rotations and identities are dropped.
+/// "Adjacent" means no intervening gate touches any shared qubit. Every
+/// rule preserves the circuit unitary exactly (tested property).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CIRCUIT_PEEPHOLE_H
+#define WEAVER_CIRCUIT_PEEPHOLE_H
+
+#include "circuit/Circuit.h"
+
+namespace weaver {
+namespace circuit {
+
+/// Statistics of one peephole run.
+struct PeepholeStats {
+  size_t CancelledPairs = 0;
+  size_t MergedRotations = 0;
+  size_t DroppedIdentities = 0;
+};
+
+/// Applies the rules to a fixed point (bounded number of passes).
+/// \p OutStats receives counters when non-null.
+Circuit peepholeOptimize(const Circuit &C, PeepholeStats *OutStats = nullptr);
+
+} // namespace circuit
+} // namespace weaver
+
+#endif // WEAVER_CIRCUIT_PEEPHOLE_H

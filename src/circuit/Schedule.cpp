@@ -1,0 +1,56 @@
+//===- circuit/Schedule.cpp - ASAP circuit scheduling --------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Schedule.h"
+
+#include <algorithm>
+
+using namespace weaver;
+using namespace weaver::circuit;
+
+double circuit::gateDuration(const Gate &G, const GateDurations &D) {
+  switch (G.kind()) {
+  case GateKind::Barrier:
+    return 0;
+  case GateKind::Measure:
+    return D.Measure;
+  default:
+    switch (G.numQubits()) {
+    case 1:
+      return D.OneQubit;
+    case 2:
+      return D.TwoQubit;
+    case 3:
+      return D.ThreeQubit;
+    default:
+      return 0;
+    }
+  }
+}
+
+Schedule circuit::scheduleAsap(const Circuit &C, const GateDurations &D) {
+  Schedule S;
+  S.StartTimes.reserve(C.size());
+  std::vector<double> QubitFree(C.numQubits(), 0.0);
+  double BarrierFloor = 0.0;
+  for (const Gate &G : C) {
+    if (G.kind() == GateKind::Barrier) {
+      for (double T : QubitFree)
+        BarrierFloor = std::max(BarrierFloor, T);
+      S.StartTimes.push_back(BarrierFloor);
+      continue;
+    }
+    double Start = BarrierFloor;
+    for (unsigned I = 0, E = G.numQubits(); I < E; ++I)
+      Start = std::max(Start, QubitFree[G.qubit(I)]);
+    double End = Start + gateDuration(G, D);
+    for (unsigned I = 0, E = G.numQubits(); I < E; ++I)
+      QubitFree[G.qubit(I)] = End;
+    S.StartTimes.push_back(Start);
+    S.TotalDuration = std::max(S.TotalDuration, End);
+  }
+  return S;
+}

@@ -1,0 +1,49 @@
+//===- circuit/Schedule.h - ASAP circuit scheduling ------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// As-soon-as-possible scheduling with per-gate-class durations. The paper
+/// computes execution time by summing the durations of pulses and shuttles
+/// (§8.3); for gate-model backends (superconducting) the analogue is the
+/// scheduled critical-path duration produced here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CIRCUIT_SCHEDULE_H
+#define WEAVER_CIRCUIT_SCHEDULE_H
+
+#include "circuit/Circuit.h"
+
+#include <vector>
+
+namespace weaver {
+namespace circuit {
+
+/// Durations in seconds per gate class.
+struct GateDurations {
+  double OneQubit = 0;
+  double TwoQubit = 0;
+  double ThreeQubit = 0;
+  double Measure = 0;
+};
+
+/// Result of scheduling: one start time per gate and the total duration.
+struct Schedule {
+  std::vector<double> StartTimes;
+  double TotalDuration = 0;
+};
+
+/// Returns the duration \p D assigns to gate \p G (0 for barriers).
+double gateDuration(const Gate &G, const GateDurations &D);
+
+/// ASAP-schedules \p C: each gate starts when all of its qubits are free;
+/// barriers synchronise all qubits.
+Schedule scheduleAsap(const Circuit &C, const GateDurations &D);
+
+} // namespace circuit
+} // namespace weaver
+
+#endif // WEAVER_CIRCUIT_SCHEDULE_H

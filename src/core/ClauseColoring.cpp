@@ -1,0 +1,114 @@
+//===- core/ClauseColoring.cpp - DSatur clause colouring ------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ClauseColoring.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace weaver;
+using namespace weaver::core;
+using sat::CnfFormula;
+
+namespace {
+
+/// Builds the clause conflict adjacency lists: an edge joins clauses that
+/// share at least one variable (Algorithm 1's adjacency matrix, kept sparse
+/// via per-variable occurrence lists so construction is near-linear).
+std::vector<std::vector<size_t>> buildConflictGraph(const CnfFormula &F) {
+  std::vector<std::vector<size_t>> VarOccurrences(F.numVariables() + 1);
+  for (size_t I = 0; I < F.numClauses(); ++I)
+    for (sat::Literal L : F.clause(I))
+      VarOccurrences[L.variable()].push_back(I);
+
+  std::vector<std::set<size_t>> AdjSets(F.numClauses());
+  for (const auto &Occ : VarOccurrences)
+    for (size_t I = 0; I < Occ.size(); ++I)
+      for (size_t J = I + 1; J < Occ.size(); ++J) {
+        AdjSets[Occ[I]].insert(Occ[J]);
+        AdjSets[Occ[J]].insert(Occ[I]);
+      }
+
+  std::vector<std::vector<size_t>> Adj(F.numClauses());
+  for (size_t I = 0; I < F.numClauses(); ++I)
+    Adj[I].assign(AdjSets[I].begin(), AdjSets[I].end());
+  return Adj;
+}
+
+ClauseColoring finalize(std::vector<int> ColorOf) {
+  ClauseColoring R;
+  int NumColors = 0;
+  for (int C : ColorOf)
+    NumColors = std::max(NumColors, C + 1);
+  R.ClausesByColor.resize(NumColors);
+  for (size_t I = 0; I < ColorOf.size(); ++I)
+    R.ClausesByColor[ColorOf[I]].push_back(I);
+  R.ColorOf = std::move(ColorOf);
+  return R;
+}
+
+} // namespace
+
+bool ClauseColoring::isValid(const CnfFormula &Formula) const {
+  if (ColorOf.size() != Formula.numClauses())
+    return false;
+  for (size_t I = 0; I < Formula.numClauses(); ++I)
+    for (size_t J = I + 1; J < Formula.numClauses(); ++J)
+      if (ColorOf[I] == ColorOf[J] &&
+          Formula.clause(I).sharesVariableWith(Formula.clause(J)))
+        return false;
+  return true;
+}
+
+ClauseColoring core::colorClausesDSatur(const CnfFormula &Formula) {
+  size_t N = Formula.numClauses();
+  std::vector<std::vector<size_t>> Adj = buildConflictGraph(Formula);
+  std::vector<int> ColorOf(N, -1);
+  std::vector<std::set<int>> NeighbourColors(N);
+  std::vector<size_t> Degree(N);
+  for (size_t I = 0; I < N; ++I)
+    Degree[I] = Adj[I].size();
+
+  for (size_t Step = 0; Step < N; ++Step) {
+    // Pick the uncoloured vertex with maximum saturation (number of
+    // distinct neighbour colours), breaking ties by degree then index.
+    size_t Best = N;
+    for (size_t I = 0; I < N; ++I) {
+      if (ColorOf[I] != -1)
+        continue;
+      if (Best == N ||
+          NeighbourColors[I].size() > NeighbourColors[Best].size() ||
+          (NeighbourColors[I].size() == NeighbourColors[Best].size() &&
+           Degree[I] > Degree[Best]))
+        Best = I;
+    }
+    // Smallest colour absent from the neighbourhood.
+    int Color = 0;
+    while (NeighbourColors[Best].count(Color))
+      ++Color;
+    ColorOf[Best] = Color;
+    for (size_t Nb : Adj[Best])
+      NeighbourColors[Nb].insert(Color);
+  }
+  return finalize(std::move(ColorOf));
+}
+
+ClauseColoring core::colorClausesFirstFit(const CnfFormula &Formula) {
+  size_t N = Formula.numClauses();
+  std::vector<std::vector<size_t>> Adj = buildConflictGraph(Formula);
+  std::vector<int> ColorOf(N, -1);
+  for (size_t I = 0; I < N; ++I) {
+    std::set<int> Used;
+    for (size_t Nb : Adj[I])
+      if (ColorOf[Nb] != -1)
+        Used.insert(ColorOf[Nb]);
+    int Color = 0;
+    while (Used.count(Color))
+      ++Color;
+    ColorOf[I] = Color;
+  }
+  return finalize(std::move(ColorOf));
+}

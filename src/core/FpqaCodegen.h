@@ -1,0 +1,71 @@
+//===- core/FpqaCodegen.h - Pulse-level FPQA code generation ---*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a coloured MAX-3SAT QAOA program to an annotated wQASM program:
+/// every logical gate statement carries the FPQA pulse/movement annotations
+/// executed for it (paper §4.2). The generator implements all three
+/// wOptimizer passes end to end:
+///  * clause colouring decides which clauses share a zone (input),
+///  * colour shuttling moves atoms between home traps and diagonal zones
+///    with order-preserving parallel column moves (§5.3, Algorithm 2),
+///  * 3-qubit gate compression emits each clause as 2 CCZ + 2 CZ pulses
+///    plus Raman rotations (§5.4, Fig. 7) — or, when compression is not
+///    profitable on the target hardware, as the pure CZ ladder.
+///
+/// Every emitted annotation is validated against the FpqaDevice state
+/// machine during generation, so the produced program satisfies all
+/// Table 1 pre-conditions by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_FPQACODEGEN_H
+#define WEAVER_CORE_FPQACODEGEN_H
+
+#include "core/ClauseColoring.h"
+#include "core/Layout.h"
+#include "fpqa/HardwareParams.h"
+#include "qaoa/Builder.h"
+#include "qasm/Program.h"
+#include "support/Status.h"
+
+namespace weaver {
+namespace core {
+
+/// Code generation options.
+struct CodegenOptions {
+  Layout Geometry;
+  qaoa::QaoaParams Qaoa;
+  /// Use the Fig. 7 CCZ fragments. When false, clauses lower to CZ-only
+  /// ladders (ablation / unprofitable-CCZ fallback).
+  bool UseCompression = true;
+  /// Keep atoms needed by the next colour in their AOD traps instead of
+  /// returning them to SLM home traps — the core saving of the paper's
+  /// colour shuttling pass (§5.3, Algorithm 2: "transfer_to_aod(a) //
+  /// Used in next color"). Disable for the ablation study.
+  bool ReuseAodAtoms = true;
+  /// Emit trailing measurements.
+  bool Measure = false;
+};
+
+/// Result of lowering: an annotated program plus the flat pulse stream.
+struct CodegenResult {
+  qasm::WqasmProgram Program;
+  /// All annotations of Program in order (setup + per-statement).
+  std::vector<qasm::Annotation> pulseStream() const;
+};
+
+/// Generates the wQASM program for \p Formula under colouring \p Coloring.
+/// Fails only if the formula is malformed (clause wider than 3 literals).
+Expected<CodegenResult> generateFpqaProgram(const sat::CnfFormula &Formula,
+                                            const ClauseColoring &Coloring,
+                                            const fpqa::HardwareParams &Hw,
+                                            const CodegenOptions &Options);
+
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_FPQACODEGEN_H

@@ -1,0 +1,74 @@
+//===- core/Layout.h - Colour-zone geometry plan ---------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Geometry of the diagonal colour zones (paper §5.3, Fig. 5): atoms live
+/// in SLM "home" traps along y = 0; each colour group owns an execution
+/// zone placed diagonally; inside a zone every clause occupies a site — an
+/// equilateral triangle whose target spot is an SLM trap and whose two
+/// control spots are AOD positions on the (single) AOD row.
+///
+/// All constants respect the device pre-conditions: home spacing exceeds
+/// the minimum SLM separation, triangle side length (2 um) is inside the
+/// Rydberg radius (2.5 um), site spacing (20 um) keeps distinct clusters
+/// non-interacting, and transfer hops (2 um pickup, sqrt(3) um at sites)
+/// are below the maximum transfer distance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_LAYOUT_H
+#define WEAVER_CORE_LAYOUT_H
+
+#include "support/Geometry.h"
+
+namespace weaver {
+namespace core {
+
+/// Geometry constants for code generation (micrometers).
+struct Layout {
+  double HomeSpacing = 6.0;   ///< x-distance between variable home traps
+  double PickupRowY = 2.0;    ///< AOD row y while loading/unloading atoms
+  double TriangleHalfWidth = 1.0; ///< control x-offset from the site centre
+  double TriangleHeight = 1.7320508075688772; ///< sqrt(3): row above target
+  double SiteSpacing = 20.0;  ///< x-distance between clause sites
+  double ZoneBaseY = 20.0;    ///< y of the first colour zone's targets
+  double ZoneStepY = 6.0;     ///< y-offset between consecutive zones
+  double ZoneStepX = 3.0;     ///< diagonal x-offset between zones
+  /// Number of physical zones cycled round-robin over the colours. The
+  /// paper places colour zones diagonally; a real trap plane is finite, so
+  /// colours reuse the zone window modulo this count (colours execute
+  /// sequentially, so a zone is always empty when its next colour arrives).
+  int ZoneCycle = 2;
+  double CzLift = 3.0;        ///< row lift isolating controls from targets
+  double PairShift = 3.0;     ///< x-shift isolating one control (ladder mode)
+  double BumpGap = 0.9;       ///< spacing used when displacing a column
+  double ParkSpacing = 2.0;   ///< spacing of parked (idle) columns
+
+  /// Home trap position of qubit \p Q.
+  Vec2 homePosition(int Q) const { return {HomeSpacing * Q, 0.0}; }
+
+  /// Physical zone used by colour \p Color.
+  int zoneOf(int Color) const { return Color % ZoneCycle; }
+
+  /// Target-spot (SLM) position of site \p Site in colour \p Color's zone.
+  Vec2 sitePosition(int Color, int Site) const {
+    int Zone = zoneOf(Color);
+    return {ZoneStepX * Zone + SiteSpacing * Site, zoneY(Color)};
+  }
+
+  /// y-coordinate of the targets of colour \p Color (zone-cycled).
+  double zoneY(int Color) const {
+    return ZoneBaseY + ZoneStepY * zoneOf(Color);
+  }
+
+  /// y-coordinate of the AOD row while colour \p Color executes gates.
+  double gateRowY(int Color) const { return zoneY(Color) + TriangleHeight; }
+};
+
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_LAYOUT_H

@@ -1,0 +1,78 @@
+//===- core/WChecker.h - wQASM equivalence checker -------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wChecker (paper §6, Fig. 9) verifies that the FPQA annotations of a
+/// wQASM file implement the logical circuit they annotate. It has two
+/// stages:
+///
+///  1. *Pulse-to-gate translation (structural check, any size)*: the atom
+///     motion is re-simulated on the device model; every Rydberg pulse is
+///     translated into the CZ/CCZ gates its interaction clusters imply
+///     (validating that atoms are mutually in range, equidistant, and that
+///     no stray atoms interact), and every Raman pulse into the equivalent
+///     single-qubit unitary. The translated gates must match the logical
+///     gate statements one-for-one.
+///
+///  2. *Unitary check (small circuits)*: the circuit reconstructed from the
+///     pulses alone is compared, up to global phase, against an
+///     independently supplied reference circuit (the hardware-agnostic
+///     original).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_WCHECKER_H
+#define WEAVER_CORE_WCHECKER_H
+
+#include "circuit/Circuit.h"
+#include "fpqa/HardwareParams.h"
+#include "qasm/Program.h"
+#include "support/Status.h"
+
+#include <optional>
+#include <string>
+
+namespace weaver {
+namespace core {
+
+/// wChecker configuration.
+struct CheckOptions {
+  /// Largest register for which the full unitary check runs.
+  int MaxUnitaryQubits = 10;
+  /// Element-wise tolerance of the unitary comparison.
+  double Tolerance = 1e-8;
+};
+
+/// Outcome of a wChecker run.
+struct CheckReport {
+  /// Pulse stream translates exactly onto the logical statements.
+  bool StructuralOk = false;
+  /// Whether the unitary comparison ran (skipped for large registers or
+  /// when no reference was supplied).
+  bool UnitaryChecked = false;
+  /// Result of the unitary comparison (meaningful when UnitaryChecked).
+  bool UnitaryOk = false;
+  /// First diagnostic on failure.
+  std::string Diagnostic;
+  /// Circuit rebuilt from the pulses alone (U3 + CZ + CCZ).
+  circuit::Circuit Reconstructed;
+
+  bool passed() const {
+    return StructuralOk && (!UnitaryChecked || UnitaryOk);
+  }
+};
+
+/// Runs the wChecker on \p Program. When \p Reference is provided and small
+/// enough, stage 2 compares the pulse-reconstructed circuit against it.
+CheckReport checkWqasm(const qasm::WqasmProgram &Program,
+                       const fpqa::HardwareParams &Hw,
+                       const circuit::Circuit *Reference = nullptr,
+                       const CheckOptions &Options = CheckOptions());
+
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_WCHECKER_H

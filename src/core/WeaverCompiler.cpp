@@ -1,0 +1,74 @@
+//===- core/WeaverCompiler.cpp - End-to-end Weaver pipeline ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WeaverCompiler.h"
+
+#include "qaoa/Builder.h"
+
+#include <chrono>
+
+using namespace weaver;
+using namespace weaver::core;
+
+Expected<WeaverResult> core::compileWeaver(const sat::CnfFormula &Formula,
+                                           const WeaverOptions &Options) {
+  auto Start = std::chrono::steady_clock::now();
+  WeaverResult Result;
+
+  // Pass 1: clause colouring (§5.2).
+  Result.Coloring = Options.UseDSatur ? colorClausesDSatur(Formula)
+                                      : colorClausesFirstFit(Formula);
+
+  // Pass 3 decision: is CCZ compression profitable on this hardware (§5.4)?
+  switch (Options.Compression) {
+  case WeaverOptions::CompressionMode::Auto:
+    Result.CompressionUsed = Options.Hw.cczCompressionProfitable();
+    break;
+  case WeaverOptions::CompressionMode::On:
+    Result.CompressionUsed = true;
+    break;
+  case WeaverOptions::CompressionMode::Off:
+    Result.CompressionUsed = false;
+    break;
+  }
+
+  // Pass 2 + codegen: colour shuttling and pulse emission.
+  CodegenOptions CG;
+  CG.Geometry = Options.Geometry;
+  CG.Qaoa = Options.Qaoa;
+  CG.UseCompression = Result.CompressionUsed;
+  CG.ReuseAodAtoms = Options.ReuseAodAtoms;
+  CG.Measure = Options.Measure;
+  auto Generated =
+      generateFpqaProgram(Formula, Result.Coloring, Options.Hw, CG);
+  if (!Generated)
+    return Expected<WeaverResult>(Generated.status());
+  Result.Program = std::move(Generated->Program);
+
+  Result.CompileSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  // Metrics: replay the pulse stream (not part of compile time).
+  CodegenResult ForStream;
+  ForStream.Program = Result.Program;
+  auto Stats =
+      fpqa::analyzePulseProgram(ForStream.pulseStream(), Options.Hw);
+  if (!Stats)
+    return Expected<WeaverResult>(Stats.status());
+  Result.Stats = *Stats;
+
+  if (Options.RunChecker) {
+    // Reference: the hardware-agnostic (uncompressed ladder) circuit.
+    qaoa::QaoaParams RefParams = Options.Qaoa;
+    RefParams.Measure = false;
+    RefParams.UseCompressedClauses = false;
+    circuit::Circuit Reference = qaoa::buildQaoaCircuit(Formula, RefParams);
+    Result.Check =
+        checkWqasm(Result.Program, Options.Hw, &Reference, Options.Checker);
+  }
+  return Result;
+}

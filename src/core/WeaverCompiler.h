@@ -1,0 +1,69 @@
+//===- core/WeaverCompiler.h - End-to-end Weaver pipeline ------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the Weaver FPQA path (paper Fig. 3): clause
+/// colouring -> colour shuttling -> 3-qubit gate compression -> wQASM +
+/// pulse generation, with optional wChecker verification and the metrics
+/// the evaluation reports (compile time, pulses, execution time, EPS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_WEAVERCOMPILER_H
+#define WEAVER_CORE_WEAVERCOMPILER_H
+
+#include "core/ClauseColoring.h"
+#include "core/FpqaCodegen.h"
+#include "core/WChecker.h"
+#include "fpqa/Analysis.h"
+
+#include <optional>
+
+namespace weaver {
+namespace core {
+
+/// Pipeline configuration.
+struct WeaverOptions {
+  fpqa::HardwareParams Hw;
+  qaoa::QaoaParams Qaoa;
+  Layout Geometry;
+
+  /// Gate-compression policy (§5.4): Auto consults
+  /// HardwareParams::cczCompressionProfitable().
+  enum class CompressionMode { Auto, On, Off };
+  CompressionMode Compression = CompressionMode::Auto;
+
+  /// Use DSatur (Algorithm 1); false selects the first-fit ablation.
+  bool UseDSatur = true;
+  /// Keep atoms used by consecutive colours on the AOD (§5.3, Algorithm 2).
+  /// False returns every atom home between colours (ablation).
+  bool ReuseAodAtoms = true;
+  /// Append measurements to the generated program.
+  bool Measure = false;
+  /// Run the wChecker after compilation (stage 2 runs when the register
+  /// is small enough and a reference circuit is requested).
+  bool RunChecker = false;
+  CheckOptions Checker;
+};
+
+/// Everything the pipeline produces.
+struct WeaverResult {
+  qasm::WqasmProgram Program;   ///< annotated wQASM output
+  ClauseColoring Coloring;      ///< §5.2 result
+  bool CompressionUsed = false; ///< §5.4 decision
+  fpqa::PulseStats Stats;       ///< pulses / duration / EPS (§8)
+  double CompileSeconds = 0;    ///< wall-clock compile time
+  std::optional<CheckReport> Check; ///< present when RunChecker was set
+};
+
+/// Compiles \p Formula for the FPQA backend.
+Expected<WeaverResult> compileWeaver(const sat::CnfFormula &Formula,
+                                     const WeaverOptions &Options = {});
+
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_WEAVERCOMPILER_H

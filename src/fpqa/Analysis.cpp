@@ -1,0 +1,113 @@
+//===- fpqa/Analysis.cpp - Pulse program timing and EPS -------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpqa/Analysis.h"
+
+#include <cmath>
+#include <set>
+
+using namespace weaver;
+using namespace weaver::fpqa;
+using qasm::Annotation;
+using qasm::AnnotationKind;
+
+Expected<PulseStats>
+fpqa::analyzePulseProgram(const std::vector<Annotation> &Program,
+                          const HardwareParams &Params) {
+  FpqaDevice Device(Params);
+  PulseStats Stats;
+  double EpsLog = 0; // accumulate log-fidelity for numerical stability
+
+  // Shuttle/transfer batching state: a batch extends while consecutive
+  // instructions of the same kind touch pairwise-distinct rows/columns.
+  enum class BatchKind { None, Shuttle, Transfer };
+  BatchKind Batch = BatchKind::None;
+  std::set<std::pair<bool, int>> BatchAxes; // (isRow, index) for shuttles
+  double BatchMaxDistance = 0;
+
+  auto CloseBatch = [&]() {
+    if (Batch == BatchKind::Shuttle) {
+      Stats.ShuttleBatches++;
+      Stats.Duration += BatchMaxDistance / Params.ShuttleSpeedUmPerSec;
+    } else if (Batch == BatchKind::Transfer) {
+      Stats.TransferBatches++;
+      Stats.Duration += Params.TransferTime;
+    }
+    Batch = BatchKind::None;
+    BatchAxes.clear();
+    BatchMaxDistance = 0;
+  };
+
+  for (const Annotation &A : Program) {
+    if (Status S = Device.apply(A))
+      return Expected<PulseStats>(S);
+    switch (A.Kind) {
+    case AnnotationKind::Slm:
+    case AnnotationKind::Aod:
+    case AnnotationKind::Bind:
+      CloseBatch();
+      break; // setup: no pulse, no time
+    case AnnotationKind::Shuttle: {
+      Stats.ShuttleInstructions++;
+      std::pair<bool, int> Axis{A.ShuttleRow, A.ShuttleIndex};
+      if (Batch != BatchKind::Shuttle || BatchAxes.count(Axis)) {
+        CloseBatch();
+        Batch = BatchKind::Shuttle;
+      }
+      BatchAxes.insert(Axis);
+      BatchMaxDistance = std::max(BatchMaxDistance, std::abs(A.Offset));
+      break;
+    }
+    case AnnotationKind::Transfer: {
+      Stats.TransferInstructions++;
+      if (Batch != BatchKind::Transfer) {
+        CloseBatch();
+        Batch = BatchKind::Transfer;
+      }
+      EpsLog += std::log(Params.TransferFidelity);
+      break;
+    }
+    case AnnotationKind::RamanLocal:
+      CloseBatch();
+      Stats.RamanLocalPulses++;
+      Stats.Duration += Params.RamanLocalTime;
+      EpsLog += std::log(Params.RamanFidelity);
+      break;
+    case AnnotationKind::RamanGlobal:
+      CloseBatch();
+      Stats.RamanGlobalPulses++;
+      Stats.Duration += Params.RamanGlobalTime;
+      EpsLog += static_cast<double>(Device.numAtoms()) *
+                std::log(Params.RamanFidelity);
+      break;
+    case AnnotationKind::Rydberg: {
+      CloseBatch();
+      Stats.RydbergPulses++;
+      Stats.Duration += Params.RydbergTime;
+      auto Clusters = Device.rydbergClusters();
+      if (!Clusters)
+        return Expected<PulseStats>(Clusters.status());
+      for (const RydbergCluster &C : *Clusters) {
+        if (C.Qubits.size() == 2) {
+          Stats.CzGates++;
+          EpsLog += std::log(Params.CzFidelity);
+        } else {
+          Stats.CczGates++;
+          EpsLog += std::log(Params.CczFidelity);
+        }
+      }
+      break;
+    }
+    }
+  }
+  CloseBatch();
+  Stats.NumAtoms = Device.numAtoms();
+  // Decoherence: every atom idles for the program duration (§8.3: longer
+  // circuit duration -> higher chance of decoherence errors).
+  EpsLog -= static_cast<double>(Stats.NumAtoms) * Stats.Duration / Params.T2;
+  Stats.Eps = std::exp(EpsLog);
+  return Stats;
+}

@@ -1,0 +1,62 @@
+//===- fpqa/Analysis.h - Pulse program timing and EPS ----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a pulse program (a wQASM annotation stream) on the device model
+/// and derives the paper's evaluation metrics: number of pulses (Fig. 10b),
+/// execution time as the sum of pulse and shuttle durations (§8.3), and
+/// EPS by accumulating per-pulse error plus decoherence (§8.4).
+///
+/// Consecutive shuttles over distinct rows/columns are merged into one
+/// parallel shuttle batch (Algorithm 2's parallel shuttle sets); the batch
+/// contributes max(|offset|) / speed to the execution time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_FPQA_ANALYSIS_H
+#define WEAVER_FPQA_ANALYSIS_H
+
+#include "fpqa/Device.h"
+
+#include <vector>
+
+namespace weaver {
+namespace fpqa {
+
+/// Metrics accumulated over one pulse program.
+struct PulseStats {
+  size_t RamanLocalPulses = 0;
+  size_t RamanGlobalPulses = 0;
+  size_t RydbergPulses = 0;
+  size_t ShuttleInstructions = 0;
+  size_t ShuttleBatches = 0; ///< parallel groups (Algorithm 2)
+  size_t TransferInstructions = 0;
+  size_t TransferBatches = 0;
+  size_t CzGates = 0;  ///< 2-atom clusters summed over Rydberg pulses
+  size_t CczGates = 0; ///< 3-atom clusters summed over Rydberg pulses
+  size_t NumAtoms = 0;
+
+  /// Laser pulses as counted in Fig. 10b: Raman + Rydberg pulses plus one
+  /// per shuttle/transfer batch.
+  size_t totalPulses() const {
+    return RamanLocalPulses + RamanGlobalPulses + RydbergPulses +
+           ShuttleBatches + TransferBatches;
+  }
+
+  double Duration = 0; ///< seconds (sum of pulse/shuttle durations, §8.3)
+  double Eps = 1.0;    ///< estimated probability of success (§8.4)
+};
+
+/// Replays \p Program on a fresh device with \p Params; fails when any
+/// instruction violates its pre-conditions.
+Expected<PulseStats>
+analyzePulseProgram(const std::vector<qasm::Annotation> &Program,
+                    const HardwareParams &Params);
+
+} // namespace fpqa
+} // namespace weaver
+
+#endif // WEAVER_FPQA_ANALYSIS_H

@@ -1,0 +1,287 @@
+//===- fpqa/Device.cpp - Checked FPQA device state machine ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpqa/Device.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace weaver;
+using namespace weaver::fpqa;
+using qasm::Annotation;
+using qasm::AnnotationKind;
+
+Status FpqaDevice::apply(const Annotation &A) {
+  switch (A.Kind) {
+  case AnnotationKind::Slm:
+    return applySlm(A);
+  case AnnotationKind::Aod:
+    return applyAod(A);
+  case AnnotationKind::Bind:
+    return applyBind(A);
+  case AnnotationKind::Transfer:
+    return applyTransfer(A);
+  case AnnotationKind::Shuttle:
+    return applyShuttle(A);
+  case AnnotationKind::RamanGlobal:
+  case AnnotationKind::RamanLocal:
+    return applyRaman(A);
+  case AnnotationKind::Rydberg:
+    // Validity of the entangling pattern is checked via rydbergClusters().
+    return rydbergClusters() ? Status::success()
+                             : rydbergClusters().status();
+  }
+  return Status::error("unknown annotation kind");
+}
+
+Status FpqaDevice::applyAll(const std::vector<Annotation> &Annotations) {
+  for (const Annotation &A : Annotations)
+    if (Status S = apply(A))
+      return S;
+  return Status::success();
+}
+
+Status FpqaDevice::applySlm(const Annotation &A) {
+  for (size_t I = 0; I < A.TrapPositions.size(); ++I)
+    for (size_t J = I + 1; J < A.TrapPositions.size(); ++J)
+      if (distance(A.TrapPositions[I], A.TrapPositions[J]) <
+          Params.MinSlmSeparation)
+        return Status::error(
+            "@slm traps " + std::to_string(I) + " and " + std::to_string(J) +
+            " closer than the minimum separation");
+  if (!SlmTraps.empty())
+    return Status::error("@slm layer already initialised");
+  SlmTraps = A.TrapPositions;
+  SlmOccupants.assign(SlmTraps.size(), -1);
+  return Status::success();
+}
+
+Status FpqaDevice::applyAod(const Annotation &A) {
+  auto CheckOrdered = [&](const std::vector<double> &Vals, const char *What) {
+    for (size_t I = 0; I + 1 < Vals.size(); ++I)
+      if (Vals[I + 1] - Vals[I] < Params.MinAodSeparation)
+        return Status::error(std::string("@aod ") + What +
+                             " coordinates must increase by at least the "
+                             "minimum AOD separation");
+    return Status::success();
+  };
+  if (Status S = CheckOrdered(A.AodXs, "column"))
+    return S;
+  if (Status S = CheckOrdered(A.AodYs, "row"))
+    return S;
+  if (!ColumnX.empty() || !RowY.empty())
+    return Status::error("@aod layer already initialised");
+  ColumnX = A.AodXs;
+  RowY = A.AodYs;
+  return Status::success();
+}
+
+Status FpqaDevice::applyBind(const Annotation &A) {
+  if (A.Qubit < 0)
+    return Status::error("@bind requires a non-negative qubit id");
+  if (static_cast<size_t>(A.Qubit) >= Locations.size())
+    Locations.resize(A.Qubit + 1);
+  if (Locations[A.Qubit].Kind != AtomLocation::Layer::Unbound)
+    return Status::error("@bind: qubit " + std::to_string(A.Qubit) +
+                         " is already bound");
+  if (A.BindToSlm) {
+    if (A.SlmIndex < 0 || static_cast<size_t>(A.SlmIndex) >= SlmTraps.size())
+      return Status::error("@bind: SLM index out of range");
+    if (SlmOccupants[A.SlmIndex] != -1)
+      return Status::error("@bind: SLM trap " + std::to_string(A.SlmIndex) +
+                           " already holds an atom");
+    SlmOccupants[A.SlmIndex] = A.Qubit;
+    Locations[A.Qubit] = {AtomLocation::Layer::Slm, A.SlmIndex, -1, -1};
+    return Status::success();
+  }
+  if (A.AodCol < 0 || static_cast<size_t>(A.AodCol) >= ColumnX.size() ||
+      A.AodRow < 0 || static_cast<size_t>(A.AodRow) >= RowY.size())
+    return Status::error("@bind: AOD trap index out of range");
+  if (aodOccupant(A.AodCol, A.AodRow) != -1)
+    return Status::error("@bind: AOD trap already holds an atom");
+  setAodOccupant(A.AodCol, A.AodRow, A.Qubit);
+  Locations[A.Qubit] = {AtomLocation::Layer::Aod, -1, A.AodCol, A.AodRow};
+  return Status::success();
+}
+
+Status FpqaDevice::applyTransfer(const Annotation &A) {
+  if (A.SlmIndex < 0 || static_cast<size_t>(A.SlmIndex) >= SlmTraps.size())
+    return Status::error("@transfer: SLM index out of range");
+  if (A.AodCol < 0 || static_cast<size_t>(A.AodCol) >= ColumnX.size() ||
+      A.AodRow < 0 || static_cast<size_t>(A.AodRow) >= RowY.size())
+    return Status::error("@transfer: AOD trap index out of range");
+  Vec2 SlmPos = SlmTraps[A.SlmIndex];
+  Vec2 AodPos{ColumnX[A.AodCol], RowY[A.AodRow]};
+  if (distance(SlmPos, AodPos) > Params.MaxTransferDistance)
+    return Status::error("@transfer: traps are too far apart (" +
+                         std::to_string(distance(SlmPos, AodPos)) + " um)");
+  int SlmAtom = SlmOccupants[A.SlmIndex];
+  int AodAtom = aodOccupant(A.AodCol, A.AodRow);
+  if (SlmAtom != -1 && AodAtom != -1)
+    return Status::error("@transfer: both traps are occupied");
+  if (SlmAtom == -1 && AodAtom == -1)
+    return Status::error("@transfer: both traps are empty");
+  if (SlmAtom != -1) {
+    // SLM -> AOD.
+    SlmOccupants[A.SlmIndex] = -1;
+    setAodOccupant(A.AodCol, A.AodRow, SlmAtom);
+    Locations[SlmAtom] = {AtomLocation::Layer::Aod, -1, A.AodCol, A.AodRow};
+  } else {
+    // AOD -> SLM.
+    AodOccupants.erase({A.AodCol, A.AodRow});
+    SlmOccupants[A.SlmIndex] = AodAtom;
+    Locations[AodAtom] = {AtomLocation::Layer::Slm, A.SlmIndex, -1, -1};
+  }
+  return Status::success();
+}
+
+Status FpqaDevice::applyShuttle(const Annotation &A) {
+  std::vector<double> &Coords = A.ShuttleRow ? RowY : ColumnX;
+  const char *What = A.ShuttleRow ? "row" : "column";
+  if (A.ShuttleIndex < 0 ||
+      static_cast<size_t>(A.ShuttleIndex) >= Coords.size())
+    return Status::error(std::string("@shuttle: ") + What +
+                         " index out of range");
+  double NewPos = Coords[A.ShuttleIndex] + A.Offset;
+  // The moved row/column must not cross (or crowd) its neighbours
+  // (Table 1 pre-condition: no move over another row/column).
+  if (A.ShuttleIndex > 0 &&
+      NewPos - Coords[A.ShuttleIndex - 1] < Params.MinAodSeparation)
+    return Status::error(std::string("@shuttle: ") + What +
+                         " would cross or crowd its left/lower neighbour");
+  if (static_cast<size_t>(A.ShuttleIndex) + 1 < Coords.size() &&
+      Coords[A.ShuttleIndex + 1] - NewPos < Params.MinAodSeparation)
+    return Status::error(std::string("@shuttle: ") + What +
+                         " would cross or crowd its right/upper neighbour");
+  Coords[A.ShuttleIndex] = NewPos;
+  return Status::success();
+}
+
+Status FpqaDevice::applyRaman(const Annotation &A) {
+  if (A.Kind == AnnotationKind::RamanGlobal)
+    return Status::success();
+  if (A.Qubit < 0 || static_cast<size_t>(A.Qubit) >= Locations.size() ||
+      Locations[A.Qubit].Kind == AtomLocation::Layer::Unbound)
+    return Status::error("@raman local: qubit " + std::to_string(A.Qubit) +
+                         " is not bound to an atom");
+  return Status::success();
+}
+
+int FpqaDevice::aodOccupant(int Col, int Row) const {
+  auto It = AodOccupants.find({Col, Row});
+  return It == AodOccupants.end() ? -1 : It->second;
+}
+
+void FpqaDevice::setAodOccupant(int Col, int Row, int Qubit) {
+  AodOccupants[{Col, Row}] = Qubit;
+}
+
+Vec2 FpqaDevice::qubitPosition(int Qubit) const {
+  const AtomLocation &Loc = location(Qubit);
+  assert(Loc.Kind != AtomLocation::Layer::Unbound &&
+         "querying position of an unbound qubit");
+  if (Loc.Kind == AtomLocation::Layer::Slm)
+    return SlmTraps[Loc.SlmIndex];
+  return Vec2{ColumnX[Loc.AodCol], RowY[Loc.AodRow]};
+}
+
+bool FpqaDevice::isBound(int Qubit) const {
+  return Qubit >= 0 && static_cast<size_t>(Qubit) < Locations.size() &&
+         Locations[Qubit].Kind != AtomLocation::Layer::Unbound;
+}
+
+size_t FpqaDevice::numAtoms() const {
+  size_t N = 0;
+  for (const AtomLocation &L : Locations)
+    if (L.Kind != AtomLocation::Layer::Unbound)
+      ++N;
+  return N;
+}
+
+const AtomLocation &FpqaDevice::location(int Qubit) const {
+  assert(Qubit >= 0 && static_cast<size_t>(Qubit) < Locations.size() &&
+         "qubit id out of range");
+  return Locations[Qubit];
+}
+
+Expected<std::vector<RydbergCluster>> FpqaDevice::rydbergClusters() const {
+  // Gather placed atoms and their positions.
+  std::vector<int> Qubits;
+  std::vector<Vec2> Positions;
+  for (size_t Q = 0; Q < Locations.size(); ++Q) {
+    if (Locations[Q].Kind == AtomLocation::Layer::Unbound)
+      continue;
+    Qubits.push_back(static_cast<int>(Q));
+    Positions.push_back(qubitPosition(static_cast<int>(Q)));
+  }
+  size_t N = Qubits.size();
+  // Union-find over the proximity graph.
+  std::vector<size_t> Parent(N);
+  for (size_t I = 0; I < N; ++I)
+    Parent[I] = I;
+  auto Find = [&](size_t X) {
+    while (Parent[X] != X)
+      X = Parent[X] = Parent[Parent[X]];
+    return X;
+  };
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (distance(Positions[I], Positions[J]) <= Params.RydbergRadius)
+        Parent[Find(I)] = Find(J);
+
+  std::map<size_t, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < N; ++I)
+    Groups[Find(I)].push_back(I);
+
+  auto DescribeCluster = [&](const std::vector<size_t> &Members) {
+    std::string Out;
+    for (size_t M : Members) {
+      Out += " q[" + std::to_string(Qubits[M]) + "]@(" +
+             std::to_string(Positions[M].X) + "," +
+             std::to_string(Positions[M].Y) + ")";
+    }
+    return Out;
+  };
+
+  std::vector<RydbergCluster> Clusters;
+  for (auto &[Root, Members] : Groups) {
+    if (Members.size() < 2)
+      continue;
+    if (Members.size() > 3)
+      return Expected<std::vector<RydbergCluster>>::error(
+          "@rydberg: interaction cluster with more than three atoms:" +
+          DescribeCluster(Members));
+    // Every pair in the cluster must interact directly (no chains), and
+    // 3-atom clusters must be equidistant for the CCZ interpretation.
+    double MinD = 1e300, MaxD = 0;
+    for (size_t I = 0; I < Members.size(); ++I)
+      for (size_t J = I + 1; J < Members.size(); ++J) {
+        double D = distance(Positions[Members[I]], Positions[Members[J]]);
+        MinD = std::min(MinD, D);
+        MaxD = std::max(MaxD, D);
+      }
+    if (MaxD > Params.RydbergRadius)
+      return Expected<std::vector<RydbergCluster>>::error(
+          "@rydberg: chained interaction cluster (atoms not mutually "
+          "within the Rydberg radius):" +
+          DescribeCluster(Members));
+    if (Members.size() == 3 && MaxD - MinD > Params.EquidistanceTolerance)
+      return Expected<std::vector<RydbergCluster>>::error(
+          "@rydberg: 3-atom cluster is not equidistant:" +
+          DescribeCluster(Members));
+    RydbergCluster C;
+    for (size_t M : Members)
+      C.Qubits.push_back(Qubits[M]);
+    std::sort(C.Qubits.begin(), C.Qubits.end());
+    Clusters.push_back(std::move(C));
+  }
+  // Deterministic order for consumers.
+  std::sort(Clusters.begin(), Clusters.end(),
+            [](const RydbergCluster &A, const RydbergCluster &B) {
+              return A.Qubits < B.Qubits;
+            });
+  return Clusters;
+}

@@ -1,0 +1,111 @@
+//===- fpqa/Device.h - Checked FPQA device state machine -------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable model of an FPQA: a fixed SLM trap layer, a reconfigurable
+/// AOD row/column grid, and atoms bound to qubit ids. Every wQASM
+/// annotation (Table 1) is applied through \c apply(), which validates the
+/// instruction's pre-conditions (minimum trap spacing, AOD ordering, atom
+/// occupancy, transfer distance) and performs its post-condition. This is
+/// the same state machine the wChecker re-simulates to translate Rydberg
+/// pulses back into logical gates (paper §6, Fig. 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_FPQA_DEVICE_H
+#define WEAVER_FPQA_DEVICE_H
+
+#include "fpqa/HardwareParams.h"
+#include "qasm/Annotation.h"
+#include "support/Geometry.h"
+#include "support/Status.h"
+
+#include <map>
+#include <vector>
+
+namespace weaver {
+namespace fpqa {
+
+/// Where an atom (identified by its bound qubit id) currently sits.
+struct AtomLocation {
+  enum class Layer { Unbound, Slm, Aod };
+  Layer Kind = Layer::Unbound;
+  int SlmIndex = -1; ///< valid when Kind == Slm
+  int AodCol = -1;   ///< valid when Kind == Aod
+  int AodRow = -1;   ///< valid when Kind == Aod
+};
+
+/// A set of mutually interacting atoms under one Rydberg pulse.
+struct RydbergCluster {
+  std::vector<int> Qubits; ///< 2 or 3 qubit ids
+};
+
+/// The FPQA state machine. See file comment.
+class FpqaDevice {
+public:
+  explicit FpqaDevice(const HardwareParams &Params = HardwareParams())
+      : Params(Params) {}
+
+  const HardwareParams &params() const { return Params; }
+
+  /// Applies one wQASM annotation; returns an error (state unchanged) when
+  /// a pre-condition of Table 1 is violated.
+  Status apply(const qasm::Annotation &A);
+
+  /// Applies a sequence, stopping at the first error.
+  Status applyAll(const std::vector<qasm::Annotation> &Annotations);
+
+  /// Current position of the atom bound to \p Qubit. Requires the qubit to
+  /// be bound and placed.
+  Vec2 qubitPosition(int Qubit) const;
+
+  /// Returns true if \p Qubit is bound to a trap.
+  bool isBound(int Qubit) const;
+
+  /// Number of bound atoms.
+  size_t numAtoms() const;
+
+  /// Computes the interaction clusters a global Rydberg pulse would act on:
+  /// connected components of the "closer than RydbergRadius" graph with at
+  /// least two atoms. Fails when a cluster exceeds three atoms or a 3-atom
+  /// cluster is not (approximately) equidistant — the digital-computation
+  /// validity conditions of §6/§7.
+  Expected<std::vector<RydbergCluster>> rydbergClusters() const;
+
+  // --- Introspection used by codegen and tests -------------------------
+  size_t numSlmTraps() const { return SlmTraps.size(); }
+  Vec2 slmTrap(int Index) const { return SlmTraps[Index]; }
+  int slmOccupant(int Index) const { return SlmOccupants[Index]; }
+  size_t numAodColumns() const { return ColumnX.size(); }
+  size_t numAodRows() const { return RowY.size(); }
+  double columnX(int Col) const { return ColumnX[Col]; }
+  double rowY(int Row) const { return RowY[Row]; }
+  const AtomLocation &location(int Qubit) const;
+
+private:
+  Status applySlm(const qasm::Annotation &A);
+  Status applyAod(const qasm::Annotation &A);
+  Status applyBind(const qasm::Annotation &A);
+  Status applyTransfer(const qasm::Annotation &A);
+  Status applyShuttle(const qasm::Annotation &A);
+  Status applyRaman(const qasm::Annotation &A);
+
+  int aodOccupant(int Col, int Row) const;
+  void setAodOccupant(int Col, int Row, int Qubit);
+
+  HardwareParams Params;
+  std::vector<Vec2> SlmTraps;
+  std::vector<int> SlmOccupants; ///< qubit id or -1
+  std::vector<double> ColumnX;
+  std::vector<double> RowY;
+  std::map<std::pair<int, int>, int> AodOccupants; ///< (col,row) -> qubit
+  std::vector<AtomLocation> Locations;             ///< indexed by qubit id
+};
+
+} // namespace fpqa
+} // namespace weaver
+
+#endif // WEAVER_FPQA_DEVICE_H

@@ -1,0 +1,129 @@
+//===- fpqa/PulseSchedule.cpp - Time-stamped pulse schedules ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fpqa/PulseSchedule.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <set>
+
+using namespace weaver;
+using namespace weaver::fpqa;
+using qasm::Annotation;
+using qasm::AnnotationKind;
+
+std::string PulseSchedule::str() const {
+  std::string Out = formatf("%-12s %-10s %s\n", "start[us]", "dur[us]",
+                            "instruction");
+  for (const ScheduledPulse &P : Pulses)
+    Out += formatf("%-12.3f %-10.3f %s\n", P.StartTime * 1e6,
+                   P.Duration * 1e6, P.Description.c_str());
+  Out += formatf("makespan: %.3f us\n", Makespan * 1e6);
+  return Out;
+}
+
+Expected<PulseSchedule>
+fpqa::schedulePulseProgram(const std::vector<Annotation> &Program,
+                           const HardwareParams &Params) {
+  FpqaDevice Device(Params);
+  PulseSchedule Schedule;
+  double Clock = 0;
+
+  // Open batch state, mirroring fpqa::analyzePulseProgram.
+  enum class BatchKind { None, Shuttle, Transfer };
+  BatchKind Batch = BatchKind::None;
+  std::set<std::pair<bool, int>> BatchAxes;
+  double BatchMaxDistance = 0;
+  size_t BatchCount = 0;
+  std::vector<size_t> BatchSources;
+
+  auto CloseBatch = [&]() {
+    if (Batch == BatchKind::None)
+      return;
+    ScheduledPulse P;
+    P.StartTime = Clock;
+    P.SourceIndices = BatchSources;
+    if (Batch == BatchKind::Shuttle) {
+      P.Duration = BatchMaxDistance / Params.ShuttleSpeedUmPerSec;
+      P.Description = BatchCount > 1
+                          ? formatf("shuttle x%zu (parallel)", BatchCount)
+                          : "shuttle";
+    } else {
+      P.Duration = Params.TransferTime;
+      P.Description = BatchCount > 1
+                          ? formatf("transfer x%zu (parallel)", BatchCount)
+                          : "transfer";
+    }
+    Clock += P.Duration;
+    Schedule.Pulses.push_back(std::move(P));
+    Batch = BatchKind::None;
+    BatchAxes.clear();
+    BatchMaxDistance = 0;
+    BatchCount = 0;
+    BatchSources.clear();
+  };
+
+  auto Emit = [&](double Duration, std::string Description, size_t Index) {
+    CloseBatch();
+    ScheduledPulse P;
+    P.StartTime = Clock;
+    P.Duration = Duration;
+    P.Description = std::move(Description);
+    P.SourceIndices = {Index};
+    Clock += Duration;
+    Schedule.Pulses.push_back(std::move(P));
+  };
+
+  for (size_t I = 0; I < Program.size(); ++I) {
+    const Annotation &A = Program[I];
+    if (Status S = Device.apply(A))
+      return Expected<PulseSchedule>(S);
+    switch (A.Kind) {
+    case AnnotationKind::Slm:
+    case AnnotationKind::Aod:
+    case AnnotationKind::Bind:
+      CloseBatch();
+      break;
+    case AnnotationKind::Shuttle: {
+      std::pair<bool, int> Axis{A.ShuttleRow, A.ShuttleIndex};
+      if (Batch != BatchKind::Shuttle || BatchAxes.count(Axis))
+        CloseBatch();
+      Batch = BatchKind::Shuttle;
+      BatchAxes.insert(Axis);
+      BatchMaxDistance = std::max(BatchMaxDistance, std::abs(A.Offset));
+      BatchCount++;
+      BatchSources.push_back(I);
+      break;
+    }
+    case AnnotationKind::Transfer:
+      if (Batch != BatchKind::Transfer)
+        CloseBatch();
+      Batch = BatchKind::Transfer;
+      BatchCount++;
+      BatchSources.push_back(I);
+      break;
+    case AnnotationKind::RamanLocal:
+      Emit(Params.RamanLocalTime,
+           formatf("raman local q[%d]", A.Qubit), I);
+      break;
+    case AnnotationKind::RamanGlobal:
+      Emit(Params.RamanGlobalTime, "raman global", I);
+      break;
+    case AnnotationKind::Rydberg: {
+      auto Clusters = Device.rydbergClusters();
+      if (!Clusters)
+        return Expected<PulseSchedule>(Clusters.status());
+      Emit(Params.RydbergTime,
+           formatf("rydberg (%zu clusters)", Clusters->size()), I);
+      break;
+    }
+    }
+  }
+  CloseBatch();
+  Schedule.Makespan = Clock;
+  return Schedule;
+}

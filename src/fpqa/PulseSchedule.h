@@ -1,0 +1,55 @@
+//===- fpqa/PulseSchedule.h - Time-stamped pulse schedules -----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts a validated pulse program into a time-stamped schedule — the
+/// "FPQA low-level instructions ... ready to be submitted to FPQA hardware
+/// controllers" of the paper's Fig. 3. Uses the same parallel-batch model
+/// as the execution-time analysis so scheduled makespan == analyzed
+/// duration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_FPQA_PULSESCHEDULE_H
+#define WEAVER_FPQA_PULSESCHEDULE_H
+
+#include "fpqa/Analysis.h"
+
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace fpqa {
+
+/// One scheduled hardware event (possibly a parallel batch).
+struct ScheduledPulse {
+  double StartTime = 0; ///< seconds from program start
+  double Duration = 0;
+  /// Rendered instruction(s), e.g. "rydberg" or "shuttle x3 (parallel)".
+  std::string Description;
+  /// Indices into the source annotation stream covered by this event.
+  std::vector<size_t> SourceIndices;
+};
+
+/// A full schedule plus its makespan.
+struct PulseSchedule {
+  std::vector<ScheduledPulse> Pulses;
+  double Makespan = 0;
+
+  /// Renders a fixed-width timing table ("start[us] dur[us] instruction").
+  std::string str() const;
+};
+
+/// Schedules \p Program (validating it on the device model). The makespan
+/// equals \c analyzePulseProgram's Duration for the same program.
+Expected<PulseSchedule>
+schedulePulseProgram(const std::vector<qasm::Annotation> &Program,
+                     const HardwareParams &Params);
+
+} // namespace fpqa
+} // namespace weaver
+
+#endif // WEAVER_FPQA_PULSESCHEDULE_H

@@ -1,0 +1,134 @@
+//===- qaoa/Builder.cpp - QAOA circuit construction -----------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Angle derivation for the canonical all-negative clause (¬a ∨ ¬b ∨ ¬c),
+/// whose unsat indicator is x_a x_b x_c with
+///   x_a x_b x_c = 1/8 (1 - Za - Zb - Zc + ZaZb + ZaZc + ZbZc - ZaZbZc).
+/// exp(-i g * unsat) therefore needs the exponent coefficients
+///   singles: -g/8 each, pairs: +g/8 each, cubic: -g/8
+/// (exp(-i c Z...) with RZ(t) = exp(-i t/2 Z), i.e. t = 2c).
+///
+/// The compressed form uses the identity
+///   CCX(a,b;c) RZ_c(t) CCX(a,b;c) = exp(-i t/4 (Zc + ZaZc + ZbZc - ZaZbZc))
+/// so t = g/2 supplies the cubic and both target-pair terms; the remaining
+/// control-pair term is an RZZ(g/4) ladder and the single-qubit residues are
+/// RZ(-g/4) on the controls and RZ(-g/2) on the target. Mixed-polarity
+/// clauses are X-conjugated into the canonical form first.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qaoa/Builder.h"
+
+using namespace weaver;
+using namespace weaver::qaoa;
+using circuit::Circuit;
+using sat::Clause;
+using sat::CnfFormula;
+using sat::Literal;
+
+namespace {
+
+/// Applies X to every positive-literal qubit, mapping the clause's unsat
+/// indicator onto the canonical monomial x_a x_b x_c.
+void appendPolarityConjugation(Circuit &C, const Clause &Clause) {
+  for (Literal L : Clause)
+    if (!L.isNegated())
+      C.x(L.variable() - 1);
+}
+
+/// Appends exp(-i (Theta/2) Z⊗Z) on (A, B) via the CX ladder.
+void appendRzzLadder(Circuit &C, double Theta, int A, int B) {
+  C.cx(A, B);
+  C.rz(Theta, B);
+  C.cx(A, B);
+}
+
+/// Appends exp(-i (Theta/2) Z⊗Z⊗Z) on (A, B, T) via the CX ladder.
+void appendRzzzLadder(Circuit &C, double Theta, int A, int B, int T) {
+  C.cx(A, B);
+  C.cx(B, T);
+  C.rz(Theta, T);
+  C.cx(B, T);
+  C.cx(A, B);
+}
+
+} // namespace
+
+void qaoa::appendClausePhaseLadder(Circuit &C, const Clause &Clause,
+                                   double Gamma) {
+  size_t K = Clause.size();
+  assert(K >= 1 && K <= 3 && "clause width must be 1..3");
+  appendPolarityConjugation(C, Clause);
+  int Q[3];
+  for (size_t I = 0; I < K; ++I)
+    Q[I] = Clause[I].variable() - 1;
+  switch (K) {
+  case 1:
+    // unsat = x_a = (1 - Za)/2: coefficient -g/2 -> RZ(-g).
+    C.rz(-Gamma, Q[0]);
+    break;
+  case 2:
+    // unsat = x_a x_b: singles -g/4 -> RZ(-g/2); pair +g/4 -> RZZ(g/2).
+    C.rz(-Gamma / 2, Q[0]);
+    C.rz(-Gamma / 2, Q[1]);
+    appendRzzLadder(C, Gamma / 2, Q[0], Q[1]);
+    break;
+  case 3:
+    // See file comment for the coefficient table.
+    C.rz(-Gamma / 4, Q[0]);
+    C.rz(-Gamma / 4, Q[1]);
+    C.rz(-Gamma / 4, Q[2]);
+    appendRzzLadder(C, Gamma / 4, Q[0], Q[1]);
+    appendRzzLadder(C, Gamma / 4, Q[0], Q[2]);
+    appendRzzLadder(C, Gamma / 4, Q[1], Q[2]);
+    appendRzzzLadder(C, -Gamma / 4, Q[0], Q[1], Q[2]);
+    break;
+  }
+  appendPolarityConjugation(C, Clause);
+}
+
+void qaoa::appendClausePhaseCompressed(Circuit &C, const Clause &Clause,
+                                       double Gamma) {
+  assert(Clause.size() == 3 &&
+         "compressed fragments require 3-literal clauses");
+  int A = Clause[0].variable() - 1;
+  int B = Clause[1].variable() - 1;
+  int T = Clause[2].variable() - 1;
+  appendPolarityConjugation(C, Clause);
+  // CCZ sandwich: H(t) CCZ RX(g/2, t) CCZ H(t) == CCX RZ_t(g/2) CCX.
+  C.h(T);
+  C.ccz(A, B, T);
+  C.rx(Gamma / 2, T);
+  C.ccz(A, B, T);
+  C.h(T);
+  // Control-pair term and single-qubit residues.
+  appendRzzLadder(C, Gamma / 4, A, B);
+  C.rz(-Gamma / 4, A);
+  C.rz(-Gamma / 4, B);
+  C.rz(-Gamma / 2, T);
+  appendPolarityConjugation(C, Clause);
+}
+
+Circuit qaoa::buildQaoaCircuit(const CnfFormula &Formula,
+                               const QaoaParams &Params) {
+  Circuit C(Formula.numVariables(),
+            Formula.name().empty() ? "qaoa" : "qaoa-" + Formula.name());
+  for (int Q = 0; Q < Formula.numVariables(); ++Q)
+    C.h(Q);
+  for (int Layer = 0; Layer < Params.Layers; ++Layer) {
+    for (const Clause &Cl : Formula.clauses()) {
+      if (Params.UseCompressedClauses && Cl.size() == 3)
+        appendClausePhaseCompressed(C, Cl, Params.Gamma);
+      else
+        appendClausePhaseLadder(C, Cl, Params.Gamma);
+    }
+    for (int Q = 0; Q < Formula.numVariables(); ++Q)
+      C.rx(2 * Params.Beta, Q);
+  }
+  if (Params.Measure)
+    C.measureAll();
+  return C;
+}

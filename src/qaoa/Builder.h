@@ -1,0 +1,60 @@
+//===- qaoa/Builder.h - QAOA circuit construction --------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds QAOA circuits for MAX-3SAT formulas (paper §2.1, §5): an H layer
+/// initialises the mixer ground state, each layer applies the cost
+/// Hamiltonian phase separation exp(-i gamma C) clause by clause followed
+/// by the RX mixer, and measurements produce the distribution of Fig. 1c.
+///
+/// Two clause-fragment implementations are provided:
+///  * the CNOT-ladder form (Fig. 6) used as the hardware-agnostic
+///    reference, and
+///  * the compressed CCZ form (Fig. 7, §5.4): 2 CCZ + 2 CZ-ladder gates
+///    instead of the 8-CNOT network.
+/// Mixed-polarity clauses are normalised by conjugating positive-literal
+/// qubits with X ("setting control bits to zero with single-qubit
+/// rotations", §5.4), after which every clause is the canonical monomial
+/// x_a x_b x_c.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_QAOA_BUILDER_H
+#define WEAVER_QAOA_BUILDER_H
+
+#include "circuit/Circuit.h"
+#include "sat/Cnf.h"
+
+namespace weaver {
+namespace qaoa {
+
+/// QAOA hyper-parameters.
+struct QaoaParams {
+  double Gamma = 0.7; ///< cost-Hamiltonian angle per layer
+  double Beta = 0.3;  ///< mixer angle per layer
+  int Layers = 1;     ///< p
+  bool Measure = false;
+  bool UseCompressedClauses = false; ///< Fig. 7 CCZ fragments
+};
+
+/// Appends exp(-i Gamma * unsat(Clause)) using the CNOT-ladder form
+/// (Fig. 6). Handles clauses of 1-3 literals.
+void appendClausePhaseLadder(circuit::Circuit &C, const sat::Clause &Clause,
+                             double Gamma);
+
+/// Appends exp(-i Gamma * unsat(Clause)) using the compressed CCZ form
+/// (Fig. 7). Requires a 3-literal clause.
+void appendClausePhaseCompressed(circuit::Circuit &C,
+                                 const sat::Clause &Clause, double Gamma);
+
+/// Builds the full QAOA circuit over numVariables() qubits.
+circuit::Circuit buildQaoaCircuit(const sat::CnfFormula &Formula,
+                                  const QaoaParams &Params = QaoaParams());
+
+} // namespace qaoa
+} // namespace weaver
+
+#endif // WEAVER_QAOA_BUILDER_H

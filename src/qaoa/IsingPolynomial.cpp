@@ -1,0 +1,73 @@
+//===- qaoa/IsingPolynomial.cpp - Z-basis cost polynomials ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qaoa/IsingPolynomial.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace weaver;
+using namespace weaver::qaoa;
+
+void IsingPolynomial::addTerm(std::vector<int> Qubits, double Coefficient) {
+  std::sort(Qubits.begin(), Qubits.end());
+  assert(std::adjacent_find(Qubits.begin(), Qubits.end()) == Qubits.end() &&
+         "duplicate qubit in Ising term");
+  double &Slot = Terms[std::move(Qubits)];
+  Slot += Coefficient;
+}
+
+double IsingPolynomial::coefficient(std::vector<int> Qubits) const {
+  std::sort(Qubits.begin(), Qubits.end());
+  auto It = Terms.find(Qubits);
+  return It == Terms.end() ? 0.0 : It->second;
+}
+
+double IsingPolynomial::evaluate(uint64_t Bits) const {
+  double Sum = 0;
+  for (const auto &[Qubits, Coeff] : Terms) {
+    double Prod = Coeff;
+    for (int Q : Qubits)
+      if ((Bits >> Q) & 1)
+        Prod = -Prod;
+    Sum += Prod;
+  }
+  return Sum;
+}
+
+IsingPolynomial IsingPolynomial::clauseUnsat(const sat::Clause &Clause) {
+  // unsat = prod_i u_i with u = (1 - Z)/2 for a NEGATIVE literal (x, true
+  // when the variable is 1) and u = (1 + Z)/2 for a POSITIVE literal
+  // (1 - x). Expand the product over all subsets of the clause.
+  IsingPolynomial P;
+  size_t K = Clause.size();
+  assert(K <= 3 && "MAX-3SAT clauses have at most three literals");
+  for (uint32_t Subset = 0; Subset < (1u << K); ++Subset) {
+    double Coeff = 1.0;
+    std::vector<int> Qubits;
+    for (size_t I = 0; I < K; ++I) {
+      sat::Literal L = Clause[I];
+      Coeff *= 0.5;
+      if ((Subset >> I) & 1) {
+        // Z factor: sign depends on literal polarity.
+        Coeff *= L.isNegated() ? -1.0 : 1.0;
+        Qubits.push_back(L.variable() - 1);
+      }
+    }
+    P.addTerm(std::move(Qubits), Coeff);
+  }
+  return P;
+}
+
+IsingPolynomial IsingPolynomial::unsatCount(const sat::CnfFormula &Formula) {
+  IsingPolynomial P;
+  for (const sat::Clause &C : Formula.clauses()) {
+    IsingPolynomial ClauseP = clauseUnsat(C);
+    for (const auto &[Qubits, Coeff] : ClauseP.terms())
+      P.addTerm(Qubits, Coeff);
+  }
+  return P;
+}

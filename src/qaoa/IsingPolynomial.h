@@ -1,0 +1,62 @@
+//===- qaoa/IsingPolynomial.h - Z-basis cost polynomials -------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multilinear polynomials over Z operators representing MAX-3SAT cost
+/// Hamiltonians (paper §5: clause objective functions aggregate into a
+/// Boolean polynomial with terms of at most cubic degree).
+///
+/// The cost minimised by QAOA is C(b) = number of UNsatisfied clauses of
+/// bitstring b. Each clause contributes the monomial u_1 u_2 u_3 where
+/// u_i = x for a negative literal and (1-x) for a positive one; under
+/// x = (1 - Z)/2 this expands into Z-terms of degree <= 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_QAOA_ISINGPOLYNOMIAL_H
+#define WEAVER_QAOA_ISINGPOLYNOMIAL_H
+
+#include "sat/Cnf.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace weaver {
+namespace qaoa {
+
+/// A real multilinear polynomial over Z_0 .. Z_{n-1}. Keys are sorted
+/// 0-based qubit-index subsets; the empty key holds the constant term.
+class IsingPolynomial {
+public:
+  /// Adds \p Coefficient * prod_{q in Qubits} Z_q (Qubits need not be
+  /// sorted; duplicates are invalid).
+  void addTerm(std::vector<int> Qubits, double Coefficient);
+
+  /// Returns the coefficient of the given term (0 when absent).
+  double coefficient(std::vector<int> Qubits) const;
+
+  const std::map<std::vector<int>, double> &terms() const { return Terms; }
+
+  /// Evaluates the polynomial at the computational basis state \p Bits
+  /// (bit q of \p Bits is qubit q; Z eigenvalue is +1 for 0, -1 for 1).
+  double evaluate(uint64_t Bits) const;
+
+  /// Builds the unsatisfied-clause-count polynomial of \p Formula over
+  /// qubits 0..numVariables()-1 (variable v maps to qubit v-1).
+  static IsingPolynomial unsatCount(const sat::CnfFormula &Formula);
+
+  /// Builds the polynomial of a single clause's unsat indicator.
+  static IsingPolynomial clauseUnsat(const sat::Clause &Clause);
+
+private:
+  std::map<std::vector<int>, double> Terms;
+};
+
+} // namespace qaoa
+} // namespace weaver
+
+#endif // WEAVER_QAOA_ISINGPOLYNOMIAL_H

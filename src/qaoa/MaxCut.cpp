@@ -1,0 +1,49 @@
+//===- qaoa/MaxCut.cpp - Max-cut front end ---------------------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qaoa/MaxCut.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace weaver;
+using namespace weaver::qaoa;
+
+size_t MaxCutGraph::cutSize(uint64_t Bits) const {
+  size_t Cut = 0;
+  for (auto [U, V] : Edges)
+    Cut += ((Bits >> U) & 1) != ((Bits >> V) & 1);
+  return Cut;
+}
+
+size_t MaxCutGraph::maxCutBruteForce() const {
+  assert(NumVertices <= 24 && "brute-force max-cut limited to 24 vertices");
+  size_t Best = 0;
+  for (uint64_t Bits = 0; Bits < (uint64_t(1) << NumVertices); ++Bits)
+    Best = std::max(Best, cutSize(Bits));
+  return Best;
+}
+
+sat::CnfFormula qaoa::maxCutToFormula(const MaxCutGraph &Graph) {
+  sat::CnfFormula F(Graph.NumVertices, {});
+  for (auto [U, V] : Graph.Edges) {
+    assert(U != V && U >= 0 && V >= 0 && U < Graph.NumVertices &&
+           V < Graph.NumVertices && "invalid edge");
+    F.addClause(sat::Clause{U + 1, V + 1});
+    F.addClause(sat::Clause{-(U + 1), -(V + 1)});
+  }
+  return F;
+}
+
+MaxCutGraph qaoa::paperFigure1Graph() {
+  // Fig. 1a is schematic; this six-vertex graph realises its outcome: the
+  // unique maximum cut (7 of 8 edges) separates {a, b, e} = {0, 1, 4}
+  // from {c, d, f} = {2, 3, 5}, matching the 110010 solution of Fig. 1d.
+  MaxCutGraph G;
+  G.NumVertices = 6;
+  G.Edges = {{0, 1}, {0, 2}, {0, 5}, {1, 2}, {1, 3}, {4, 2}, {4, 3}, {4, 5}};
+  return G;
+}

@@ -1,0 +1,52 @@
+//===- qaoa/MaxCut.h - Max-cut front end -----------------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The max-cut workload of the paper's walk-through (Fig. 1): a graph is
+/// encoded as a MAX-SAT formula — edge (u, v) contributes clauses
+/// (u | v) and (!u | !v), both satisfied exactly when the edge is cut —
+/// so maximising satisfied clauses maximises |E| + cut(b). Measured
+/// bitstrings are decoded back into vertex partitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_QAOA_MAXCUT_H
+#define WEAVER_QAOA_MAXCUT_H
+
+#include "sat/Cnf.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace weaver {
+namespace qaoa {
+
+/// An undirected graph for max-cut.
+struct MaxCutGraph {
+  int NumVertices = 0;
+  std::vector<std::pair<int, int>> Edges; ///< 0-based vertex pairs
+
+  /// Number of edges crossing the partition encoded by \p Bits (bit v = 1
+  /// places vertex v in the second part).
+  size_t cutSize(uint64_t Bits) const;
+
+  /// Exhaustive optimum (NumVertices <= 24).
+  size_t maxCutBruteForce() const;
+};
+
+/// Encodes \p Graph as the 2-clause-per-edge MAX-SAT formula described in
+/// the file comment.
+sat::CnfFormula maxCutToFormula(const MaxCutGraph &Graph);
+
+/// The example graph of the paper's Fig. 1: six vertices whose best cut
+/// separates {a, b, e} from {c, d, f}.
+MaxCutGraph paperFigure1Graph();
+
+} // namespace qaoa
+} // namespace weaver
+
+#endif // WEAVER_QAOA_MAXCUT_H

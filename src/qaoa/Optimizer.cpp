@@ -1,0 +1,107 @@
+//===- qaoa/Optimizer.cpp - Classical QAOA parameter search ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qaoa/Optimizer.h"
+
+#include "sat/Evaluator.h"
+#include "sim/StateVector.h"
+
+#include <cassert>
+
+using namespace weaver;
+using namespace weaver::qaoa;
+using sat::CnfFormula;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846;
+
+/// Per-assignment satisfied-clause counts, computed once per search.
+std::vector<double> satisfiedTable(const CnfFormula &Formula) {
+  int N = Formula.numVariables();
+  std::vector<double> Table(size_t(1) << N);
+  for (uint64_t Bits = 0; Bits < Table.size(); ++Bits)
+    Table[Bits] = static_cast<double>(
+        Formula.countSatisfied(sat::assignmentFromBits(Bits, N)));
+  return Table;
+}
+
+double evaluate(const CnfFormula &Formula, const std::vector<double> &Table,
+                const QaoaParams &Params) {
+  sim::StateVector SV(Formula.numVariables());
+  SV.applyCircuit(buildQaoaCircuit(Formula, Params));
+  std::vector<double> Probs = SV.probabilities();
+  double Expectation = 0;
+  for (size_t Bits = 0; Bits < Probs.size(); ++Bits)
+    Expectation += Probs[Bits] * Table[Bits];
+  return Expectation;
+}
+
+} // namespace
+
+double qaoa::expectedSatisfiedClauses(const CnfFormula &Formula,
+                                      const QaoaParams &Params) {
+  assert(Formula.numVariables() <= 16 &&
+         "parameter optimisation needs a simulable register");
+  return evaluate(Formula, satisfiedTable(Formula), Params);
+}
+
+OptimizedParams qaoa::optimizeQaoaParams(const CnfFormula &Formula,
+                                         const OptimizerOptions &Options) {
+  assert(Formula.numVariables() <= 16 &&
+         "parameter optimisation needs a simulable register");
+  std::vector<double> Table = satisfiedTable(Formula);
+  OptimizedParams Result;
+  Result.Params.Layers = Options.Layers;
+
+  // Grid seeding over one period of each angle.
+  double BestValue = -1;
+  for (int GI = 1; GI <= Options.GridPoints; ++GI)
+    for (int BI = 1; BI <= Options.GridPoints; ++BI) {
+      QaoaParams P;
+      P.Layers = Options.Layers;
+      P.Gamma = Pi * GI / (Options.GridPoints + 1);
+      P.Beta = (Pi / 2) * BI / (Options.GridPoints + 1);
+      double Value = evaluate(Formula, Table, P);
+      ++Result.Evaluations;
+      if (Value > BestValue) {
+        BestValue = Value;
+        Result.Params = P;
+      }
+    }
+
+  // Coordinate descent refinement.
+  double Step = Options.InitialStep;
+  for (int Iter = 0; Iter < Options.RefineIterations; ++Iter) {
+    bool Improved = false;
+    for (int Axis = 0; Axis < 2; ++Axis)
+      for (double Dir : {+1.0, -1.0}) {
+        QaoaParams P = Result.Params;
+        (Axis == 0 ? P.Gamma : P.Beta) += Dir * Step;
+        double Value = evaluate(Formula, Table, P);
+        ++Result.Evaluations;
+        if (Value > BestValue) {
+          BestValue = Value;
+          Result.Params = P;
+          Improved = true;
+        }
+      }
+    if (!Improved)
+      Step /= 2;
+  }
+
+  Result.ExpectedSatisfied = BestValue;
+
+  // Mass on optimal assignments.
+  sat::MaxSatOptimum Opt = sat::bruteForceMaxSat(Formula);
+  sim::StateVector SV(Formula.numVariables());
+  SV.applyCircuit(buildQaoaCircuit(Formula, Result.Params));
+  std::vector<double> Probs = SV.probabilities();
+  for (size_t Bits = 0; Bits < Probs.size(); ++Bits)
+    if (Table[Bits] == static_cast<double>(Opt.BestSatisfied))
+      Result.OptimumMass += Probs[Bits];
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- qaoa/Optimizer.h - Classical QAOA parameter search ------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical half of the hybrid loop of §2.1: "a quantum computer runs
+/// a parameterized quantum circuit while a classical computer optimizes
+/// the parameters". Evaluates the expected number of satisfied clauses of
+/// the (ideal, simulated) QAOA state and searches (gamma, beta) by grid
+/// seeding plus coordinate descent. Limited to formulas that fit the
+/// state-vector simulator (<= ~16 variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_QAOA_OPTIMIZER_H
+#define WEAVER_QAOA_OPTIMIZER_H
+
+#include "qaoa/Builder.h"
+#include "sat/Cnf.h"
+
+namespace weaver {
+namespace qaoa {
+
+/// Search configuration.
+struct OptimizerOptions {
+  int GridPoints = 7;      ///< per-axis seeding grid
+  int RefineIterations = 12;
+  double InitialStep = 0.2; ///< coordinate-descent step (halved on failure)
+  int Layers = 1;
+};
+
+/// Search outcome.
+struct OptimizedParams {
+  QaoaParams Params;
+  /// Expected number of satisfied clauses of the optimised state.
+  double ExpectedSatisfied = 0;
+  /// Probability mass on assignments achieving the MAX-SAT optimum.
+  double OptimumMass = 0;
+  int Evaluations = 0;
+};
+
+/// Expected satisfied-clause count of the QAOA state for \p Params.
+double expectedSatisfiedClauses(const sat::CnfFormula &Formula,
+                                const QaoaParams &Params);
+
+/// Runs the grid + coordinate-descent search.
+OptimizedParams optimizeQaoaParams(const sat::CnfFormula &Formula,
+                                   const OptimizerOptions &Options = {});
+
+} // namespace qaoa
+} // namespace weaver
+
+#endif // WEAVER_QAOA_OPTIMIZER_H

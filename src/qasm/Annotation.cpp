@@ -1,0 +1,167 @@
+//===- qasm/Annotation.cpp - wQASM FPQA annotations ------------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Annotation.h"
+
+#include "support/StringUtils.h"
+
+using namespace weaver;
+using namespace weaver::qasm;
+
+const char *qasm::annotationKindName(AnnotationKind Kind) {
+  switch (Kind) {
+  case AnnotationKind::Slm:
+    return "slm";
+  case AnnotationKind::Aod:
+    return "aod";
+  case AnnotationKind::Bind:
+    return "bind";
+  case AnnotationKind::Transfer:
+    return "transfer";
+  case AnnotationKind::Shuttle:
+    return "shuttle";
+  case AnnotationKind::RamanGlobal:
+  case AnnotationKind::RamanLocal:
+    return "raman";
+  case AnnotationKind::Rydberg:
+    return "rydberg";
+  }
+  return "";
+}
+
+std::string Annotation::str() const {
+  std::string Out = "@";
+  Out += annotationKindName(Kind);
+  switch (Kind) {
+  case AnnotationKind::Slm: {
+    Out += " [";
+    for (size_t I = 0; I < TrapPositions.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "(" + formatDouble(TrapPositions[I].X) + ", " +
+             formatDouble(TrapPositions[I].Y) + ")";
+    }
+    Out += "]";
+    break;
+  }
+  case AnnotationKind::Aod: {
+    auto RenderList = [](const std::vector<double> &Vals) {
+      std::string S = "[";
+      for (size_t I = 0; I < Vals.size(); ++I) {
+        if (I)
+          S += ", ";
+        S += formatDouble(Vals[I]);
+      }
+      return S + "]";
+    };
+    Out += " " + RenderList(AodXs) + " " + RenderList(AodYs);
+    break;
+  }
+  case AnnotationKind::Bind:
+    Out += " q[" + std::to_string(Qubit) + "]";
+    if (BindToSlm)
+      Out += " slm " + std::to_string(SlmIndex);
+    else
+      Out += " aod " + std::to_string(AodCol) + " " + std::to_string(AodRow);
+    break;
+  case AnnotationKind::Transfer:
+    Out += " " + std::to_string(SlmIndex) + " (" + std::to_string(AodCol) +
+           ", " + std::to_string(AodRow) + ")";
+    break;
+  case AnnotationKind::Shuttle:
+    Out += std::string(" ") + (ShuttleRow ? "row" : "column") + " " +
+           std::to_string(ShuttleIndex) + " " + formatDouble(Offset);
+    break;
+  case AnnotationKind::RamanGlobal:
+    Out += " global " + formatDouble(AngleX) + " " + formatDouble(AngleY) +
+           " " + formatDouble(AngleZ);
+    break;
+  case AnnotationKind::RamanLocal:
+    Out += " local q[" + std::to_string(Qubit) + "] " + formatDouble(AngleX) +
+           " " + formatDouble(AngleY) + " " + formatDouble(AngleZ);
+    break;
+  case AnnotationKind::Rydberg:
+    break;
+  }
+  return Out;
+}
+
+Annotation Annotation::slm(std::vector<Vec2> Traps) {
+  Annotation A;
+  A.Kind = AnnotationKind::Slm;
+  A.TrapPositions = std::move(Traps);
+  return A;
+}
+
+Annotation Annotation::aod(std::vector<double> Xs, std::vector<double> Ys) {
+  Annotation A;
+  A.Kind = AnnotationKind::Aod;
+  A.AodXs = std::move(Xs);
+  A.AodYs = std::move(Ys);
+  return A;
+}
+
+Annotation Annotation::bindSlm(int Qubit, int SlmIndex) {
+  Annotation A;
+  A.Kind = AnnotationKind::Bind;
+  A.Qubit = Qubit;
+  A.BindToSlm = true;
+  A.SlmIndex = SlmIndex;
+  return A;
+}
+
+Annotation Annotation::bindAod(int Qubit, int Col, int Row) {
+  Annotation A;
+  A.Kind = AnnotationKind::Bind;
+  A.Qubit = Qubit;
+  A.BindToSlm = false;
+  A.AodCol = Col;
+  A.AodRow = Row;
+  return A;
+}
+
+Annotation Annotation::transfer(int SlmIndex, int Col, int Row) {
+  Annotation A;
+  A.Kind = AnnotationKind::Transfer;
+  A.SlmIndex = SlmIndex;
+  A.AodCol = Col;
+  A.AodRow = Row;
+  return A;
+}
+
+Annotation Annotation::shuttle(bool Row, int Index, double Offset) {
+  Annotation A;
+  A.Kind = AnnotationKind::Shuttle;
+  A.ShuttleRow = Row;
+  A.ShuttleIndex = Index;
+  A.Offset = Offset;
+  return A;
+}
+
+Annotation Annotation::ramanGlobal(double X, double Y, double Z) {
+  Annotation A;
+  A.Kind = AnnotationKind::RamanGlobal;
+  A.AngleX = X;
+  A.AngleY = Y;
+  A.AngleZ = Z;
+  return A;
+}
+
+Annotation Annotation::ramanLocal(int Qubit, double X, double Y, double Z) {
+  Annotation A;
+  A.Kind = AnnotationKind::RamanLocal;
+  A.Qubit = Qubit;
+  A.AngleX = X;
+  A.AngleY = Y;
+  A.AngleZ = Z;
+  return A;
+}
+
+Annotation Annotation::rydberg() {
+  Annotation A;
+  A.Kind = AnnotationKind::Rydberg;
+  return A;
+}

@@ -1,0 +1,116 @@
+//===- qasm/Lexer.cpp - OpenQASM / wQASM lexer ----------------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+using namespace weaver;
+using namespace weaver::qasm;
+
+std::vector<Token> qasm::tokenize(std::string_view Source,
+                                  std::string &ErrorOut) {
+  std::vector<Token> Tokens;
+  ErrorOut.clear();
+  int Line = 1;
+  size_t I = 0, N = Source.size();
+
+  auto Push = [&](TokenKind Kind, std::string Text, double Value = 0) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.NumberValue = Value;
+    T.Line = Line;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/')) {
+        if (Source[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = I + 2 <= N ? I + 2 : N;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      Push(TokenKind::Identifier, std::string(Source.substr(Start, I - Start)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      size_t Start = I;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '.' || Source[I] == 'e' ||
+                       Source[I] == 'E' ||
+                       ((Source[I] == '+' || Source[I] == '-') && I > Start &&
+                        (Source[I - 1] == 'e' || Source[I - 1] == 'E'))))
+        ++I;
+      std::string Text(Source.substr(Start, I - Start));
+      Push(TokenKind::Number, Text, std::strtod(Text.c_str(), nullptr));
+      continue;
+    }
+    if (C == '"') {
+      size_t Start = ++I;
+      while (I < N && Source[I] != '"')
+        ++I;
+      if (I == N) {
+        ErrorOut = "line " + std::to_string(Line) + ": unterminated string";
+        return Tokens;
+      }
+      Push(TokenKind::String, std::string(Source.substr(Start, I - Start)));
+      ++I;
+      continue;
+    }
+    if (C == '@') {
+      size_t Start = ++I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      if (I == Start) {
+        ErrorOut = "line " + std::to_string(Line) + ": '@' without keyword";
+        return Tokens;
+      }
+      Push(TokenKind::Annotation, std::string(Source.substr(Start, I - Start)));
+      continue;
+    }
+    if (std::string_view(";,()[]{}+-*/=<>").find(C) !=
+        std::string_view::npos) {
+      Push(TokenKind::Punct, std::string(1, C));
+      ++I;
+      continue;
+    }
+    ErrorOut = "line " + std::to_string(Line) + ": unexpected character '" +
+               std::string(1, C) + "'";
+    return Tokens;
+  }
+  Push(TokenKind::EndOfFile, "");
+  return Tokens;
+}

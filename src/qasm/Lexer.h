@@ -1,0 +1,57 @@
+//===- qasm/Lexer.h - OpenQASM / wQASM lexer -------------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled tokenizer for the OpenQASM subset (plus wQASM '@'
+/// annotations) that the paper's pipeline consumes and emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_QASM_LEXER_H
+#define WEAVER_QASM_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weaver {
+namespace qasm {
+
+/// Token categories produced by the lexer.
+enum class TokenKind {
+  Identifier, ///< gate names, register names, keywords
+  Number,     ///< integer or floating literal
+  String,     ///< double-quoted string (include paths)
+  Annotation, ///< '@' followed by a keyword, e.g. @shuttle
+  Punct,      ///< one of ; , ( ) [ ] { } + - * / =
+  EndOfFile,
+};
+
+/// One token with its source line (1-based) for diagnostics.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  double NumberValue = 0;
+  int Line = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isPunct(char C) const {
+    return Kind == TokenKind::Punct && Text.size() == 1 && Text[0] == C;
+  }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokenKind::Identifier && Text == S;
+  }
+};
+
+/// Tokenizes \p Source. Unknown characters are reported via \p ErrorOut
+/// (first error wins) and lexing stops. '//' and 'c'-style '#' line
+/// comments are skipped.
+std::vector<Token> tokenize(std::string_view Source, std::string &ErrorOut);
+
+} // namespace qasm
+} // namespace weaver
+
+#endif // WEAVER_QASM_LEXER_H

@@ -1,0 +1,553 @@
+//===- qasm/Parser.cpp - OpenQASM / wQASM parser ---------------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Parser.h"
+
+#include "qasm/Lexer.h"
+
+#include <map>
+
+using namespace weaver;
+using namespace weaver::qasm;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846;
+
+/// Recursive-descent parser over the token stream. All parse* methods
+/// return false after recording an error in ErrorMessage.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Expected<WqasmProgram> run();
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() { return Tokens[Pos++]; }
+
+  bool fail(const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage =
+          "line " + std::to_string(peek().Line) + ": " + Message;
+    return false;
+  }
+
+  bool expectPunct(char C) {
+    if (!peek().isPunct(C))
+      return fail(std::string("expected '") + C + "', found '" + peek().Text +
+                  "'");
+    advance();
+    return true;
+  }
+
+  bool parseStatement();
+  bool parseVersion();
+  bool parseInclude();
+  bool parseRegisterDecl(bool Quantum, bool Qasm3Style);
+  bool parseGateCall(const std::string &Name);
+  bool parseMeasure();
+  bool parseBarrier();
+  bool parseAnnotation();
+
+  bool parseInt(int &Out);
+  bool parseSignedNumber(double &Out);
+  bool parseQubitRef(int &FlatIndex);
+  bool parseQubitRefOrIndex(int &FlatIndex);
+  bool parseBitRef(int &FlatIndex);
+  bool parseParamExpr(double &Out);
+  bool parseParamTerm(double &Out);
+  bool parseParamFactor(double &Out);
+
+  /// Registers: name -> (flat offset, size). Quantum and classical live in
+  /// separate maps.
+  std::map<std::string, std::pair<int, int>> QuantumRegs;
+  std::map<std::string, std::pair<int, int>> ClassicalRegs;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  WqasmProgram Program;
+  std::vector<Annotation> PendingAnnotations;
+  std::string ErrorMessage;
+};
+
+Expected<WqasmProgram> Parser::run() {
+  while (!peek().is(TokenKind::EndOfFile))
+    if (!parseStatement())
+      return Expected<WqasmProgram>::error(ErrorMessage);
+  Program.TrailingAnnotations = std::move(PendingAnnotations);
+  return std::move(Program);
+}
+
+bool Parser::parseStatement() {
+  const Token &T = peek();
+  if (T.is(TokenKind::Annotation))
+    return parseAnnotation();
+  if (!T.is(TokenKind::Identifier))
+    return fail("expected statement, found '" + T.Text + "'");
+  if (T.Text == "OPENQASM" || T.Text == "OpenQASM")
+    return parseVersion();
+  if (T.Text == "include")
+    return parseInclude();
+  if (T.Text == "qreg")
+    return parseRegisterDecl(/*Quantum=*/true, /*Qasm3Style=*/false);
+  if (T.Text == "creg")
+    return parseRegisterDecl(/*Quantum=*/false, /*Qasm3Style=*/false);
+  if (T.Text == "qubit")
+    return parseRegisterDecl(/*Quantum=*/true, /*Qasm3Style=*/true);
+  if (T.Text == "bit")
+    return parseRegisterDecl(/*Quantum=*/false, /*Qasm3Style=*/true);
+  if (T.Text == "measure")
+    return parseMeasure();
+  if (T.Text == "barrier")
+    return parseBarrier();
+  std::string Name = advance().Text;
+  return parseGateCall(Name);
+}
+
+bool Parser::parseVersion() {
+  advance(); // OPENQASM
+  if (!peek().is(TokenKind::Number))
+    return fail("expected version number after OPENQASM");
+  Program.Version = advance().Text;
+  return expectPunct(';');
+}
+
+bool Parser::parseInclude() {
+  advance(); // include
+  if (!peek().is(TokenKind::String))
+    return fail("expected string after include");
+  advance();
+  return expectPunct(';');
+}
+
+bool Parser::parseRegisterDecl(bool Quantum, bool Qasm3Style) {
+  advance(); // keyword
+  std::string Name;
+  int Size = 1;
+  if (Qasm3Style) {
+    // qubit[5] q;
+    if (peek().isPunct('[')) {
+      advance();
+      if (!parseInt(Size))
+        return false;
+      if (!expectPunct(']'))
+        return false;
+    }
+    if (!peek().is(TokenKind::Identifier))
+      return fail("expected register name");
+    Name = advance().Text;
+  } else {
+    // qreg q[5];
+    if (!peek().is(TokenKind::Identifier))
+      return fail("expected register name");
+    Name = advance().Text;
+    if (peek().isPunct('[')) {
+      advance();
+      if (!parseInt(Size))
+        return false;
+      if (!expectPunct(']'))
+        return false;
+    }
+  }
+  if (Size <= 0)
+    return fail("register size must be positive");
+  auto &Map = Quantum ? QuantumRegs : ClassicalRegs;
+  int &Total = Quantum ? Program.NumQubits : Program.NumBits;
+  if (!Map.emplace(Name, std::make_pair(Total, Size)).second)
+    return fail("redeclaration of register '" + Name + "'");
+  Total += Size;
+  return expectPunct(';');
+}
+
+bool Parser::parseInt(int &Out) {
+  if (!peek().is(TokenKind::Number))
+    return fail("expected integer, found '" + peek().Text + "'");
+  Out = static_cast<int>(advance().NumberValue);
+  return true;
+}
+
+bool Parser::parseSignedNumber(double &Out) {
+  double Sign = 1;
+  while (peek().isPunct('-') || peek().isPunct('+')) {
+    if (advance().Text == "-")
+      Sign = -Sign;
+  }
+  if (!peek().is(TokenKind::Number))
+    return fail("expected number, found '" + peek().Text + "'");
+  Out = Sign * advance().NumberValue;
+  return true;
+}
+
+bool Parser::parseQubitRef(int &FlatIndex) {
+  if (!peek().is(TokenKind::Identifier))
+    return fail("expected qubit reference");
+  std::string Name = advance().Text;
+  auto It = QuantumRegs.find(Name);
+  if (It == QuantumRegs.end())
+    return fail("unknown quantum register '" + Name + "'");
+  int Offset = It->second.first, Size = It->second.second;
+  if (peek().isPunct('[')) {
+    advance();
+    int Index;
+    if (!parseInt(Index))
+      return false;
+    if (!expectPunct(']'))
+      return false;
+    if (Index < 0 || Index >= Size)
+      return fail("qubit index out of range for register '" + Name + "'");
+    FlatIndex = Offset + Index;
+    return true;
+  }
+  if (Size != 1)
+    return fail("unindexed reference to multi-qubit register '" + Name + "'");
+  FlatIndex = Offset;
+  return true;
+}
+
+bool Parser::parseBitRef(int &FlatIndex) {
+  if (!peek().is(TokenKind::Identifier))
+    return fail("expected bit reference");
+  std::string Name = advance().Text;
+  auto It = ClassicalRegs.find(Name);
+  if (It == ClassicalRegs.end())
+    return fail("unknown classical register '" + Name + "'");
+  int Offset = It->second.first, Size = It->second.second;
+  if (peek().isPunct('[')) {
+    advance();
+    int Index;
+    if (!parseInt(Index))
+      return false;
+    if (!expectPunct(']'))
+      return false;
+    if (Index < 0 || Index >= Size)
+      return fail("bit index out of range for register '" + Name + "'");
+    FlatIndex = Offset + Index;
+    return true;
+  }
+  if (Size != 1)
+    return fail("unindexed reference to multi-bit register '" + Name + "'");
+  FlatIndex = Offset;
+  return true;
+}
+
+// expr := term (('+'|'-') term)*
+bool Parser::parseParamExpr(double &Out) {
+  if (!parseParamTerm(Out))
+    return false;
+  while (peek().isPunct('+') || peek().isPunct('-')) {
+    bool Add = advance().Text == "+";
+    double Rhs;
+    if (!parseParamTerm(Rhs))
+      return false;
+    Out = Add ? Out + Rhs : Out - Rhs;
+  }
+  return true;
+}
+
+// term := factor (('*'|'/') factor)*
+bool Parser::parseParamTerm(double &Out) {
+  if (!parseParamFactor(Out))
+    return false;
+  while (peek().isPunct('*') || peek().isPunct('/')) {
+    bool Mul = advance().Text == "*";
+    double Rhs;
+    if (!parseParamFactor(Rhs))
+      return false;
+    if (!Mul && Rhs == 0)
+      return fail("division by zero in parameter expression");
+    Out = Mul ? Out * Rhs : Out / Rhs;
+  }
+  return true;
+}
+
+// factor := ('-'|'+') factor | number | 'pi' | '(' expr ')'
+bool Parser::parseParamFactor(double &Out) {
+  if (peek().isPunct('-') || peek().isPunct('+')) {
+    bool Negate = advance().Text == "-";
+    if (!parseParamFactor(Out))
+      return false;
+    if (Negate)
+      Out = -Out;
+    return true;
+  }
+  if (peek().is(TokenKind::Number)) {
+    Out = advance().NumberValue;
+    return true;
+  }
+  if (peek().isIdent("pi")) {
+    advance();
+    Out = Pi;
+    return true;
+  }
+  if (peek().isPunct('(')) {
+    advance();
+    if (!parseParamExpr(Out))
+      return false;
+    return expectPunct(')');
+  }
+  return fail("expected parameter expression, found '" + peek().Text + "'");
+}
+
+bool Parser::parseGateCall(const std::string &Name) {
+  GateKind Kind;
+  if (!circuit::parseGateName(Name, Kind))
+    return fail("unknown gate '" + Name + "'");
+
+  std::vector<double> Params;
+  if (peek().isPunct('(')) {
+    advance();
+    if (!peek().isPunct(')')) {
+      for (;;) {
+        double Value;
+        if (!parseParamExpr(Value))
+          return false;
+        Params.push_back(Value);
+        if (!peek().isPunct(','))
+          break;
+        advance();
+      }
+    }
+    if (!expectPunct(')'))
+      return false;
+  }
+  if (Params.size() != circuit::gateNumParams(Kind))
+    return fail("gate '" + Name + "' expects " +
+                std::to_string(circuit::gateNumParams(Kind)) +
+                " parameter(s), got " + std::to_string(Params.size()));
+
+  std::vector<int> Qubits;
+  for (;;) {
+    int Q;
+    if (!parseQubitRef(Q))
+      return false;
+    Qubits.push_back(Q);
+    if (!peek().isPunct(','))
+      break;
+    advance();
+  }
+  if (!expectPunct(';'))
+    return false;
+  if (Qubits.size() != circuit::gateArity(Kind))
+    return fail("gate '" + Name + "' expects " +
+                std::to_string(circuit::gateArity(Kind)) + " qubit(s), got " +
+                std::to_string(Qubits.size()));
+  for (size_t I = 0; I < Qubits.size(); ++I)
+    for (size_t J = I + 1; J < Qubits.size(); ++J)
+      if (Qubits[I] == Qubits[J])
+        return fail("duplicate qubit operand in gate '" + Name + "'");
+
+  GateStatement Stmt;
+  switch (Qubits.size()) {
+  case 1:
+    Stmt.Gate = Params.empty() ? Gate(Kind, {Qubits[0]})
+                : Params.size() == 1
+                    ? Gate(Kind, {Qubits[0]}, {Params[0]})
+                    : Gate(Kind, {Qubits[0]}, {Params[0], Params[1], Params[2]});
+    break;
+  case 2:
+    Stmt.Gate = Params.empty() ? Gate(Kind, {Qubits[0], Qubits[1]})
+                               : Gate(Kind, {Qubits[0], Qubits[1]}, {Params[0]});
+    break;
+  case 3:
+    Stmt.Gate = Gate(Kind, {Qubits[0], Qubits[1], Qubits[2]});
+    break;
+  default:
+    return fail("unsupported operand count");
+  }
+  Stmt.Annotations = std::move(PendingAnnotations);
+  PendingAnnotations.clear();
+  Program.Statements.push_back(std::move(Stmt));
+  return true;
+}
+
+bool Parser::parseMeasure() {
+  advance(); // measure
+  int Qubit;
+  if (!parseQubitRef(Qubit))
+    return false;
+  if (peek().isPunct('-')) { // QASM2 arrow: measure q[0] -> c[0];
+    advance();
+    if (!expectPunct('>'))
+      return false;
+    int Bit;
+    if (!parseBitRef(Bit))
+      return false;
+  }
+  if (!expectPunct(';'))
+    return false;
+  GateStatement Stmt;
+  Stmt.Gate = Gate(GateKind::Measure, {Qubit});
+  Stmt.Annotations = std::move(PendingAnnotations);
+  PendingAnnotations.clear();
+  Program.Statements.push_back(std::move(Stmt));
+  return true;
+}
+
+bool Parser::parseBarrier() {
+  advance(); // barrier
+  // Operand lists are accepted but the IR barrier spans all qubits.
+  while (!peek().isPunct(';')) {
+    int Q;
+    if (!parseQubitRef(Q))
+      return false;
+    if (peek().isPunct(','))
+      advance();
+  }
+  advance(); // ';'
+  GateStatement Stmt;
+  Stmt.Gate = Gate(GateKind::Barrier, {});
+  Stmt.Annotations = std::move(PendingAnnotations);
+  PendingAnnotations.clear();
+  Program.Statements.push_back(std::move(Stmt));
+  return true;
+}
+
+bool Parser::parseAnnotation() {
+  std::string Keyword = advance().Text;
+  Annotation A;
+  if (Keyword == "slm") {
+    if (!expectPunct('['))
+      return false;
+    std::vector<Vec2> Traps;
+    while (!peek().isPunct(']')) {
+      if (!expectPunct('('))
+        return false;
+      double X, Y;
+      if (!parseSignedNumber(X))
+        return false;
+      if (!expectPunct(','))
+        return false;
+      if (!parseSignedNumber(Y))
+        return false;
+      if (!expectPunct(')'))
+        return false;
+      Traps.push_back(Vec2{X, Y});
+      if (peek().isPunct(','))
+        advance();
+    }
+    advance(); // ']'
+    A = Annotation::slm(std::move(Traps));
+  } else if (Keyword == "aod") {
+    auto ParseList = [&](std::vector<double> &Out) {
+      if (!expectPunct('['))
+        return false;
+      while (!peek().isPunct(']')) {
+        double V;
+        if (!parseSignedNumber(V))
+          return false;
+        Out.push_back(V);
+        if (peek().isPunct(','))
+          advance();
+      }
+      advance(); // ']'
+      return true;
+    };
+    std::vector<double> Xs, Ys;
+    if (!ParseList(Xs) || !ParseList(Ys))
+      return false;
+    A = Annotation::aod(std::move(Xs), std::move(Ys));
+  } else if (Keyword == "bind") {
+    int Qubit;
+    if (!parseQubitRefOrIndex(Qubit))
+      return false;
+    if (peek().isIdent("slm")) {
+      advance();
+      int Index;
+      if (!parseInt(Index))
+        return false;
+      A = Annotation::bindSlm(Qubit, Index);
+    } else if (peek().isIdent("aod")) {
+      advance();
+      int Col, Row;
+      if (!parseInt(Col) || !parseInt(Row))
+        return false;
+      A = Annotation::bindAod(Qubit, Col, Row);
+    } else {
+      return fail("expected 'slm' or 'aod' in @bind");
+    }
+  } else if (Keyword == "transfer") {
+    int SlmIndex, Col, Row;
+    if (!parseInt(SlmIndex))
+      return false;
+    if (!expectPunct('('))
+      return false;
+    if (!parseInt(Col))
+      return false;
+    if (!expectPunct(','))
+      return false;
+    if (!parseInt(Row))
+      return false;
+    if (!expectPunct(')'))
+      return false;
+    A = Annotation::transfer(SlmIndex, Col, Row);
+  } else if (Keyword == "shuttle") {
+    bool Row;
+    if (peek().isIdent("row"))
+      Row = true;
+    else if (peek().isIdent("column"))
+      Row = false;
+    else
+      return fail("expected 'row' or 'column' in @shuttle");
+    advance();
+    int Index;
+    double Offset;
+    if (!parseInt(Index) || !parseSignedNumber(Offset))
+      return false;
+    A = Annotation::shuttle(Row, Index, Offset);
+  } else if (Keyword == "raman") {
+    bool Global;
+    if (peek().isIdent("global"))
+      Global = true;
+    else if (peek().isIdent("local"))
+      Global = false;
+    else
+      return fail("expected 'global' or 'local' in @raman");
+    advance();
+    int Qubit = -1;
+    if (!Global && !parseQubitRefOrIndex(Qubit))
+      return false;
+    double X, Y, Z;
+    if (!parseSignedNumber(X) || !parseSignedNumber(Y) ||
+        !parseSignedNumber(Z))
+      return false;
+    A = Global ? Annotation::ramanGlobal(X, Y, Z)
+               : Annotation::ramanLocal(Qubit, X, Y, Z);
+  } else if (Keyword == "rydberg") {
+    A = Annotation::rydberg();
+  } else {
+    return fail("unknown annotation '@" + Keyword + "'");
+  }
+  PendingAnnotations.push_back(std::move(A));
+  return true;
+}
+
+bool Parser::parseQubitRefOrIndex(int &FlatIndex) {
+  if (peek().is(TokenKind::Number)) {
+    FlatIndex = static_cast<int>(advance().NumberValue);
+    return true;
+  }
+  return parseQubitRef(FlatIndex);
+}
+
+} // namespace
+
+Expected<WqasmProgram> qasm::parseWqasm(std::string_view Source) {
+  std::string LexError;
+  std::vector<Token> Tokens = tokenize(Source, LexError);
+  if (!LexError.empty())
+    return Expected<WqasmProgram>::error(LexError);
+  return Parser(std::move(Tokens)).run();
+}
+
+Expected<circuit::Circuit> qasm::parseQasmCircuit(std::string_view Source) {
+  auto Program = parseWqasm(Source);
+  if (!Program)
+    return Expected<circuit::Circuit>::error(Program.message());
+  return Program->toCircuit();
+}

@@ -1,0 +1,59 @@
+//===- qasm/Program.h - Parsed wQASM program representation ----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory form of a (w)QASM file: a flat qubit register, a statement
+/// list, and the FPQA annotations attached to each statement (paper §4.2:
+/// annotations specify the FPQA steps executed before the following
+/// OpenQASM statement). Ignoring the annotations yields a plain OpenQASM
+/// program that can be retargeted to other architectures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_QASM_PROGRAM_H
+#define WEAVER_QASM_PROGRAM_H
+
+#include "circuit/Circuit.h"
+#include "qasm/Annotation.h"
+
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace qasm {
+
+/// One OpenQASM statement (a gate, measurement or barrier) plus the wQASM
+/// annotations that precede it.
+struct GateStatement {
+  circuit::Gate Gate;
+  std::vector<Annotation> Annotations;
+};
+
+/// A parsed wQASM (or plain OpenQASM) program over one flat qubit register.
+struct WqasmProgram {
+  std::string Version = "3.0";
+  int NumQubits = 0;
+  int NumBits = 0;
+  std::vector<GateStatement> Statements;
+  /// Annotations appearing after the last statement (rare; kept for
+  /// round-trip fidelity).
+  std::vector<Annotation> TrailingAnnotations;
+
+  /// Drops the annotations and returns the logical circuit — the
+  /// "treat wQASM like regular OpenQASM" path of §4.2.
+  circuit::Circuit toCircuit() const;
+
+  /// Wraps a circuit into an annotation-free program.
+  static WqasmProgram fromCircuit(const circuit::Circuit &C);
+
+  /// Total number of annotations across all statements.
+  size_t numAnnotations() const;
+};
+
+} // namespace qasm
+} // namespace weaver
+
+#endif // WEAVER_QASM_PROGRAM_H

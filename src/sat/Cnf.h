@@ -1,0 +1,170 @@
+//===- sat/Cnf.h - CNF / MAX-3SAT formula representation -------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CNF formula model used throughout the compiler. Weaver's wOptimizer
+/// (paper §5) consumes MAX-3SAT formulas; clauses carry DIMACS-style signed
+/// literals, e.g. the paper's running example [[-1,-2,-3],[4,-5,6],[3,5,-6]].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SAT_CNF_H
+#define WEAVER_SAT_CNF_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace sat {
+
+/// A signed literal in DIMACS convention: +v means variable v, -v means the
+/// negation of variable v. Variables are 1-based; 0 is invalid.
+class Literal {
+public:
+  Literal() = default;
+  explicit Literal(int Dimacs) : Value(Dimacs) {
+    assert(Dimacs != 0 && "literal 0 is the DIMACS clause terminator");
+  }
+
+  /// Returns the 1-based variable index.
+  int variable() const { return std::abs(Value); }
+
+  /// Returns true for a negated literal (-v).
+  bool isNegated() const { return Value < 0; }
+
+  /// Returns the raw DIMACS encoding.
+  int dimacs() const { return Value; }
+
+  /// Returns the literal over the same variable with the opposite sign.
+  Literal negated() const { return Literal(-Value); }
+
+  /// Evaluates the literal under a 0/1 assignment of its variable.
+  bool evaluate(bool VariableValue) const {
+    return isNegated() ? !VariableValue : VariableValue;
+  }
+
+  friend bool operator==(Literal A, Literal B) { return A.Value == B.Value; }
+  friend bool operator<(Literal A, Literal B) { return A.Value < B.Value; }
+
+private:
+  int Value = 0;
+};
+
+/// A disjunction of literals. MAX-3SAT clauses have exactly three, but the
+/// container supports 1..3 so unit/binary clauses from DIMACS files work.
+class Clause {
+public:
+  Clause() = default;
+  Clause(std::initializer_list<int> DimacsLits) {
+    for (int L : DimacsLits)
+      Lits.push_back(Literal(L));
+  }
+  explicit Clause(std::vector<Literal> Lits) : Lits(std::move(Lits)) {}
+
+  size_t size() const { return Lits.size(); }
+  const Literal &operator[](size_t I) const {
+    assert(I < Lits.size() && "clause literal index out of range");
+    return Lits[I];
+  }
+  const std::vector<Literal> &literals() const { return Lits; }
+
+  /// Returns true if the clause mentions variable \p Var (either polarity).
+  bool mentions(int Var) const {
+    for (Literal L : Lits)
+      if (L.variable() == Var)
+        return true;
+    return false;
+  }
+
+  /// Returns true if this clause shares at least one variable with \p Other.
+  /// This is the conflict predicate of the clause-colouring pass (paper
+  /// Algorithm 1: an edge exists when C_i ∩ C_j ≠ ∅ over variables).
+  bool sharesVariableWith(const Clause &Other) const {
+    for (Literal L : Lits)
+      if (Other.mentions(L.variable()))
+        return true;
+    return false;
+  }
+
+  /// Evaluates the clause under a full assignment (Assignment[v-1] is the
+  /// value of variable v).
+  bool evaluate(const std::vector<bool> &Assignment) const {
+    for (Literal L : Lits) {
+      assert(L.variable() <= static_cast<int>(Assignment.size()) &&
+             "assignment too short for clause");
+      if (L.evaluate(Assignment[L.variable() - 1]))
+        return true;
+    }
+    return false;
+  }
+
+  auto begin() const { return Lits.begin(); }
+  auto end() const { return Lits.end(); }
+
+private:
+  std::vector<Literal> Lits;
+};
+
+/// A CNF formula: a conjunction of clauses over variables 1..numVariables().
+class CnfFormula {
+public:
+  CnfFormula() = default;
+  CnfFormula(int NumVariables, std::vector<Clause> Clauses)
+      : NumVariables(NumVariables), Clauses(std::move(Clauses)) {
+    assert(NumVariables >= 0 && "negative variable count");
+  }
+
+  int numVariables() const { return NumVariables; }
+  size_t numClauses() const { return Clauses.size(); }
+  const std::vector<Clause> &clauses() const { return Clauses; }
+  const Clause &clause(size_t I) const {
+    assert(I < Clauses.size() && "clause index out of range");
+    return Clauses[I];
+  }
+
+  /// Appends \p C, growing the variable count if the clause mentions a
+  /// variable beyond the current range.
+  void addClause(Clause C) {
+    for (Literal L : C)
+      if (L.variable() > NumVariables)
+        NumVariables = L.variable();
+    Clauses.push_back(std::move(C));
+  }
+
+  /// Returns the number of satisfied clauses under \p Assignment.
+  size_t countSatisfied(const std::vector<bool> &Assignment) const {
+    size_t Count = 0;
+    for (const Clause &C : Clauses)
+      if (C.evaluate(Assignment))
+        ++Count;
+    return Count;
+  }
+
+  /// Returns true when every clause has exactly \p K literals.
+  bool isExactlyKSat(size_t K) const {
+    for (const Clause &C : Clauses)
+      if (C.size() != K)
+        return false;
+    return true;
+  }
+
+  /// An optional human-readable instance name (e.g. "uf20-01").
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+private:
+  int NumVariables = 0;
+  std::vector<Clause> Clauses;
+  std::string Name;
+};
+
+} // namespace sat
+} // namespace weaver
+
+#endif // WEAVER_SAT_CNF_H

@@ -1,0 +1,35 @@
+//===- sat/Evaluator.cpp - MAX-SAT assignment evaluation -----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Evaluator.h"
+
+using namespace weaver;
+using namespace weaver::sat;
+
+std::vector<bool> sat::assignmentFromBits(uint64_t Bits, int NumVariables) {
+  std::vector<bool> Assignment(NumVariables);
+  for (int I = 0; I < NumVariables; ++I)
+    Assignment[I] = (Bits >> I) & 1;
+  return Assignment;
+}
+
+MaxSatOptimum sat::bruteForceMaxSat(const CnfFormula &Formula) {
+  assert(Formula.numVariables() <= 24 &&
+         "brute-force MAX-SAT limited to 24 variables");
+  MaxSatOptimum Best;
+  uint64_t Count = 1ULL << Formula.numVariables();
+  for (uint64_t Bits = 0; Bits < Count; ++Bits) {
+    std::vector<bool> A = assignmentFromBits(Bits, Formula.numVariables());
+    size_t Sat = Formula.countSatisfied(A);
+    if (Sat > Best.BestSatisfied || Bits == 0) {
+      Best.BestSatisfied = Sat;
+      Best.BestAssignment = std::move(A);
+    }
+    if (Best.BestSatisfied == Formula.numClauses())
+      break;
+  }
+  return Best;
+}

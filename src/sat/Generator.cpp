@@ -1,0 +1,75 @@
+//===- sat/Generator.cpp - SATLIB-style random 3-SAT generator -----------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Generator.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace weaver;
+using namespace weaver::sat;
+
+CnfFormula RandomSatGenerator::generate(int NumVariables, size_t NumClauses,
+                                        size_t K) const {
+  assert(K >= 1 && static_cast<int>(K) <= NumVariables &&
+         "clause width must fit the variable range");
+  Xoshiro256 Rng(Seed);
+  std::set<std::vector<int>> Seen;
+  std::vector<Clause> Clauses;
+  Clauses.reserve(NumClauses);
+
+  while (Clauses.size() < NumClauses) {
+    // Draw K distinct variables, then independent polarities.
+    std::vector<int> Vars;
+    while (Vars.size() < K) {
+      int V = static_cast<int>(Rng.nextBelow(NumVariables)) + 1;
+      if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+        Vars.push_back(V);
+    }
+    std::vector<int> Lits;
+    Lits.reserve(K);
+    for (int V : Vars)
+      Lits.push_back(Rng.next() & 1 ? V : -V);
+    // Reject duplicate clauses (order-insensitive), as SATLIB does.
+    std::vector<int> Key = Lits;
+    std::sort(Key.begin(), Key.end());
+    if (!Seen.insert(Key).second)
+      continue;
+    std::vector<Literal> ClauseLits;
+    for (int L : Lits)
+      ClauseLits.push_back(Literal(L));
+    Clauses.push_back(Clause(std::move(ClauseLits)));
+  }
+  return CnfFormula(NumVariables, std::move(Clauses));
+}
+
+CnfFormula sat::satlibInstance(int NumVariables, int Index) {
+  assert(Index >= 1 && "SATLIB instance indices are 1-based");
+  // uf20 historically has 91 clauses (ratio 4.55); larger suites use 4.26.
+  size_t NumClauses =
+      NumVariables == 20
+          ? 91
+          : static_cast<size_t>(std::lround(NumVariables * SatlibClauseRatio));
+  // Seed derived from (size, index) so instances are stable forever.
+  uint64_t Seed = 0x5a71b000ULL + static_cast<uint64_t>(NumVariables) * 131 +
+                  static_cast<uint64_t>(Index);
+  CnfFormula F = RandomSatGenerator(Seed).generate(NumVariables, NumClauses);
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "uf%d-%02d", NumVariables, Index);
+  F.setName(Name);
+  return F;
+}
+
+std::vector<CnfFormula> sat::satlibSuite(int NumVariables) {
+  std::vector<CnfFormula> Suite;
+  Suite.reserve(10);
+  for (int I = 1; I <= 10; ++I)
+    Suite.push_back(satlibInstance(NumVariables, I));
+  return Suite;
+}

@@ -1,0 +1,58 @@
+//===- sat/Generator.h - SATLIB-style random 3-SAT generator ---*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic uniform random k-SAT instance generator, the substitute for
+/// the SATLIB uf-* benchmark files (see DESIGN.md §1). SATLIB's uf suites
+/// are uniform random 3-SAT at the satisfiability phase transition
+/// (clauses/variables ≈ 4.26); \c satlibSuite reproduces the same sizes and
+/// ratios with fixed seeds so every benchmark row is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SAT_GENERATOR_H
+#define WEAVER_SAT_GENERATOR_H
+
+#include "sat/Cnf.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace weaver {
+namespace sat {
+
+/// Uniform random k-SAT generator. Clauses draw k distinct variables and
+/// independent polarities; duplicate clauses are rejected, matching the
+/// SATLIB "uf" generation procedure.
+class RandomSatGenerator {
+public:
+  explicit RandomSatGenerator(uint64_t Seed) : Seed(Seed) {}
+
+  /// Generates a formula with \p NumVariables variables and \p NumClauses
+  /// clauses of exactly \p K distinct literals each.
+  CnfFormula generate(int NumVariables, size_t NumClauses, size_t K = 3) const;
+
+private:
+  uint64_t Seed;
+};
+
+/// The clause/variable ratio of the SATLIB uf suites (phase transition).
+inline constexpr double SatlibClauseRatio = 4.26;
+
+/// Returns the SATLIB-style instance "uf<N>-<Index>" (Index is 1-based),
+/// with round(N * 4.26) clauses; uf20 uses the original 91 clauses.
+CnfFormula satlibInstance(int NumVariables, int Index);
+
+/// Returns the 10-instance suite for a given size (uf<N>-01 .. uf<N>-10).
+std::vector<CnfFormula> satlibSuite(int NumVariables);
+
+/// The variable counts evaluated in the paper (Figures 8b, 10b, 11b, 12b).
+inline constexpr int SatlibSizes[] = {20, 50, 75, 100, 150, 250};
+
+} // namespace sat
+} // namespace weaver
+
+#endif // WEAVER_SAT_GENERATOR_H

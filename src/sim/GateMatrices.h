@@ -1,0 +1,36 @@
+//===- sim/GateMatrices.h - Unitary semantics of gate kinds ----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Returns the 2^k x 2^k unitary of each \c GateKind. The matrix basis
+/// convention places the gate's *first* qubit operand in the most
+/// significant bit of the local index, matching Qiskit's textbook matrices
+/// for CX/CCZ when reading operands as (control..., target).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SIM_GATEMATRICES_H
+#define WEAVER_SIM_GATEMATRICES_H
+
+#include "circuit/Gate.h"
+#include "sim/Matrix.h"
+
+namespace weaver {
+namespace sim {
+
+/// Returns the unitary matrix of \p G. \p G must be unitary (not Barrier or
+/// Measure).
+Matrix gateUnitary(const circuit::Gate &G);
+
+/// Returns the U3(theta, phi, lambda) matrix in the Qiskit convention:
+///   [[cos(t/2),            -e^{i l} sin(t/2)      ],
+///    [e^{i p} sin(t/2),     e^{i(p+l)} cos(t/2)   ]].
+Matrix u3Matrix(double Theta, double Phi, double Lambda);
+
+} // namespace sim
+} // namespace weaver
+
+#endif // WEAVER_SIM_GATEMATRICES_H

@@ -1,0 +1,46 @@
+//===- sim/Matrix.cpp - Dense complex matrices ----------------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Matrix.h"
+
+#include <cmath>
+
+using namespace weaver;
+using namespace weaver::sim;
+
+bool sim::equalUpToGlobalPhase(const Matrix &A, const Matrix &B, double Tol) {
+  if (A.rows() != B.rows() || A.cols() != B.cols())
+    return false;
+  // Find the largest element of A to anchor the phase estimate.
+  size_t BestR = 0, BestC = 0;
+  double BestMag = -1;
+  for (size_t R = 0; R < A.rows(); ++R)
+    for (size_t C = 0; C < A.cols(); ++C) {
+      double Mag = std::abs(A.at(R, C));
+      if (Mag > BestMag) {
+        BestMag = Mag;
+        BestR = R;
+        BestC = C;
+      }
+    }
+  if (BestMag < Tol) {
+    // A is (numerically) zero; matrices match only if B is too.
+    for (size_t R = 0; R < B.rows(); ++R)
+      for (size_t C = 0; C < B.cols(); ++C)
+        if (std::abs(B.at(R, C)) > Tol)
+          return false;
+    return true;
+  }
+  Complex Anchor = B.at(BestR, BestC) / A.at(BestR, BestC);
+  // For unitaries the phase has unit magnitude; reject other scalings.
+  if (std::abs(std::abs(Anchor) - 1.0) > Tol)
+    return false;
+  for (size_t R = 0; R < A.rows(); ++R)
+    for (size_t C = 0; C < A.cols(); ++C)
+      if (std::abs(A.at(R, C) * Anchor - B.at(R, C)) > Tol)
+        return false;
+  return true;
+}

@@ -1,0 +1,106 @@
+//===- sim/Matrix.h - Dense complex matrices -------------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal dense complex matrix used for gate unitaries and the wChecker
+/// unitary equivalence check (paper §6, Fig. 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SIM_MATRIX_H
+#define WEAVER_SIM_MATRIX_H
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace weaver {
+namespace sim {
+
+using Complex = std::complex<double>;
+
+/// Row-major dense complex matrix.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols)
+      : RowCount(Rows), ColCount(Cols), Data(Rows * Cols, Complex(0, 0)) {}
+
+  /// Returns the identity matrix of dimension \p N.
+  static Matrix identity(size_t N) {
+    Matrix M(N, N);
+    for (size_t I = 0; I < N; ++I)
+      M.at(I, I) = Complex(1, 0);
+    return M;
+  }
+
+  size_t rows() const { return RowCount; }
+  size_t cols() const { return ColCount; }
+
+  Complex &at(size_t R, size_t C) {
+    assert(R < RowCount && C < ColCount && "matrix index out of range");
+    return Data[R * ColCount + C];
+  }
+  const Complex &at(size_t R, size_t C) const {
+    assert(R < RowCount && C < ColCount && "matrix index out of range");
+    return Data[R * ColCount + C];
+  }
+
+  /// Matrix product this * Other.
+  Matrix multiply(const Matrix &Other) const {
+    assert(ColCount == Other.RowCount && "matrix dimension mismatch");
+    Matrix Out(RowCount, Other.ColCount);
+    for (size_t I = 0; I < RowCount; ++I)
+      for (size_t K = 0; K < ColCount; ++K) {
+        Complex V = at(I, K);
+        if (V == Complex(0, 0))
+          continue;
+        for (size_t J = 0; J < Other.ColCount; ++J)
+          Out.at(I, J) += V * Other.at(K, J);
+      }
+    return Out;
+  }
+
+  /// Conjugate transpose.
+  Matrix dagger() const {
+    Matrix Out(ColCount, RowCount);
+    for (size_t I = 0; I < RowCount; ++I)
+      for (size_t J = 0; J < ColCount; ++J)
+        Out.at(J, I) = std::conj(at(I, J));
+    return Out;
+  }
+
+  /// Max-norm distance to \p Other.
+  double maxAbsDiff(const Matrix &Other) const {
+    assert(RowCount == Other.RowCount && ColCount == Other.ColCount &&
+           "matrix dimension mismatch");
+    double Max = 0;
+    for (size_t I = 0; I < Data.size(); ++I)
+      Max = std::max(Max, std::abs(Data[I] - Other.Data[I]));
+    return Max;
+  }
+
+  /// Returns true if this is unitary within \p Tol.
+  bool isUnitary(double Tol = 1e-9) const {
+    if (RowCount != ColCount)
+      return false;
+    return multiply(dagger()).maxAbsDiff(identity(RowCount)) < Tol;
+  }
+
+private:
+  size_t RowCount = 0, ColCount = 0;
+  std::vector<Complex> Data;
+};
+
+/// Returns true when \p A equals \p B up to a global phase factor, within
+/// element-wise tolerance \p Tol.
+bool equalUpToGlobalPhase(const Matrix &A, const Matrix &B, double Tol = 1e-8);
+
+} // namespace sim
+} // namespace weaver
+
+#endif // WEAVER_SIM_MATRIX_H

@@ -1,0 +1,56 @@
+//===- sim/Noise.h - Monte-Carlo Pauli noise simulation --------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trajectory-sampling noisy simulation: after every gate, each operand
+/// suffers a uniform random Pauli error with the gate class's error
+/// probability (a depolarizing channel unravelled into trajectories). Used
+/// to validate the analytic EPS model of §8.4 — the probability that a
+/// run produces the ideal outcome tracks the accumulated per-gate
+/// fidelities — and by the examples to show noisy output distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SIM_NOISE_H
+#define WEAVER_SIM_NOISE_H
+
+#include "circuit/Circuit.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace weaver {
+namespace sim {
+
+/// Per-gate-class error probabilities (1 - fidelity).
+struct NoiseModel {
+  double OneQubitError = 0.0003;
+  double TwoQubitError = 0.005;
+  double ThreeQubitError = 0.02;
+};
+
+/// Result of a Monte-Carlo noisy run.
+struct NoisyRunResult {
+  /// Mean output distribution over trajectories.
+  std::vector<double> Distribution;
+  /// Fraction of trajectories with no injected error (the gate-level EPS
+  /// the analytic model predicts).
+  double ErrorFreeFraction = 0;
+  /// Classical (Bhattacharyya/Hellinger-style) fidelity between the noisy
+  /// and the ideal distribution.
+  double HellingerFidelity = 0;
+};
+
+/// Simulates \p Shots noisy trajectories of \p C (<= 20 qubits; barriers
+/// skipped, measurements ignored for state evolution).
+NoisyRunResult simulateNoisy(const circuit::Circuit &C,
+                             const NoiseModel &Noise, int Shots,
+                             uint64_t Seed = 1);
+
+} // namespace sim
+} // namespace weaver
+
+#endif // WEAVER_SIM_NOISE_H

@@ -1,0 +1,86 @@
+//===- sim/Optimize.cpp - Unitary-aware peephole passes -------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Optimize.h"
+
+#include "sim/GateMatrices.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace weaver;
+using namespace weaver::sim;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+void sim::zyzDecompose(const Matrix &U, double &Theta, double &Phi,
+                       double &Lambda) {
+  assert(U.rows() == 2 && U.cols() == 2 && "zyzDecompose needs a 2x2 matrix");
+  const double Eps = 1e-12;
+  Complex A = U.at(0, 0), B = U.at(0, 1), C = U.at(1, 0), D = U.at(1, 1);
+  double MagA = std::abs(A), MagC = std::abs(C);
+  Theta = 2 * std::atan2(MagC, MagA);
+  if (MagC < Eps) {
+    // Diagonal: only phi + lambda is determined; put it all in lambda.
+    Phi = 0;
+    Lambda = std::arg(D) - std::arg(A);
+    return;
+  }
+  if (MagA < Eps) {
+    // Anti-diagonal: only lambda - phi is determined (theta = pi).
+    Phi = 0;
+    Lambda = std::arg(-B) - std::arg(C);
+    return;
+  }
+  double PhaseA = std::arg(A);
+  Phi = std::arg(C) - PhaseA;
+  Lambda = std::arg(-B) - PhaseA;
+}
+
+Circuit sim::mergeSingleQubitRuns(const Circuit &C, double IdentityTol) {
+  Circuit Out(C.numQubits(), C.name());
+  // Pending accumulated 2x2 unitary per qubit (product of a gate run).
+  std::vector<std::optional<Matrix>> Pending(C.numQubits());
+
+  auto Flush = [&](int Q) {
+    if (!Pending[Q])
+      return;
+    const Matrix &U = *Pending[Q];
+    if (!equalUpToGlobalPhase(U, Matrix::identity(2), IdentityTol)) {
+      double Theta, Phi, Lambda;
+      zyzDecompose(U, Theta, Phi, Lambda);
+      Out.u3(Theta, Phi, Lambda, Q);
+    }
+    Pending[Q].reset();
+  };
+
+  for (const Gate &G : C) {
+    if (G.kind() == GateKind::Barrier) {
+      for (int Q = 0; Q < C.numQubits(); ++Q)
+        Flush(Q);
+      Out.append(G);
+      continue;
+    }
+    if (G.kind() == GateKind::Measure) {
+      Flush(G.qubit(0));
+      Out.append(G);
+      continue;
+    }
+    if (G.numQubits() == 1) {
+      int Q = G.qubit(0);
+      Matrix M = gateUnitary(G);
+      Pending[Q] = Pending[Q] ? M.multiply(*Pending[Q]) : M;
+      continue;
+    }
+    for (unsigned I = 0, E = G.numQubits(); I < E; ++I)
+      Flush(G.qubit(I));
+    Out.append(G);
+  }
+  for (int Q = 0; Q < C.numQubits(); ++Q)
+    Flush(Q);
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- sim/Optimize.h - Unitary-aware peephole passes ----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-qubit run merging via ZYZ (U3) re-synthesis. On the FPQA path each
+/// remaining 1-qubit gate becomes one Raman pulse, so merging adjacent runs
+/// directly reduces the pulse count the paper reports (Fig. 10b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SIM_OPTIMIZE_H
+#define WEAVER_SIM_OPTIMIZE_H
+
+#include "circuit/Circuit.h"
+#include "sim/Matrix.h"
+
+namespace weaver {
+namespace sim {
+
+/// Extracts U3 angles (up to global phase) from a 2x2 unitary.
+void zyzDecompose(const Matrix &U, double &Theta, double &Phi, double &Lambda);
+
+/// Merges maximal runs of adjacent 1-qubit unitaries on the same qubit into
+/// a single U3 gate (identity runs are dropped). Multi-qubit gates,
+/// barriers and measurements act as flush points.
+circuit::Circuit mergeSingleQubitRuns(const circuit::Circuit &C,
+                                      double IdentityTol = 1e-10);
+
+} // namespace sim
+} // namespace weaver
+
+#endif // WEAVER_SIM_OPTIMIZE_H

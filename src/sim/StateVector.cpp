@@ -1,0 +1,129 @@
+//===- sim/StateVector.cpp - Dense state-vector simulator ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/StateVector.h"
+
+#include "sim/GateMatrices.h"
+
+#include <cmath>
+
+using namespace weaver;
+using namespace weaver::sim;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+StateVector::StateVector(int NumQubits) : StateVector(NumQubits, 0) {}
+
+StateVector::StateVector(int NumQubits, uint64_t Basis)
+    : QubitCount(NumQubits) {
+  assert(NumQubits >= 0 && NumQubits <= 24 &&
+         "state vector limited to 24 qubits");
+  Amps.assign(size_t(1) << NumQubits, Complex(0, 0));
+  assert(Basis < Amps.size() && "basis state out of range");
+  Amps[Basis] = Complex(1, 0);
+}
+
+void StateVector::applyUnitary(const Matrix &U, const std::vector<int> &Qubits) {
+  unsigned K = Qubits.size();
+  assert(U.rows() == (size_t(1) << K) && U.cols() == U.rows() &&
+         "unitary dimension does not match qubit count");
+  for ([[maybe_unused]] int Q : Qubits)
+    assert(Q >= 0 && Q < QubitCount && "qubit index out of range");
+
+  // Mask of the operand bits within a global index.
+  uint64_t OperandMask = 0;
+  for (int Q : Qubits)
+    OperandMask |= uint64_t(1) << Q;
+
+  size_t LocalDim = size_t(1) << K;
+  std::vector<uint64_t> LocalToGlobal(LocalDim, 0);
+  for (size_t L = 0; L < LocalDim; ++L) {
+    uint64_t Bits = 0;
+    for (unsigned I = 0; I < K; ++I)
+      // First operand is the most significant local bit.
+      if (L >> (K - 1 - I) & 1)
+        Bits |= uint64_t(1) << Qubits[I];
+    LocalToGlobal[L] = Bits;
+  }
+
+  std::vector<Complex> Gathered(LocalDim);
+  uint64_t Dim = Amps.size();
+  for (uint64_t Base = 0; Base < Dim; ++Base) {
+    if (Base & OperandMask)
+      continue; // enumerate only indices with operand bits clear
+    for (size_t L = 0; L < LocalDim; ++L)
+      Gathered[L] = Amps[Base | LocalToGlobal[L]];
+    for (size_t R = 0; R < LocalDim; ++R) {
+      Complex Sum(0, 0);
+      for (size_t Ci = 0; Ci < LocalDim; ++Ci)
+        Sum += U.at(R, Ci) * Gathered[Ci];
+      Amps[Base | LocalToGlobal[R]] = Sum;
+    }
+  }
+}
+
+void StateVector::applyGate(const Gate &G) {
+  if (G.kind() == GateKind::Barrier)
+    return;
+  assert(G.kind() != GateKind::Measure &&
+         "state vector cannot apply mid-circuit measurement");
+  std::vector<int> Qubits;
+  for (unsigned I = 0, E = G.numQubits(); I < E; ++I)
+    Qubits.push_back(G.qubit(I));
+  applyUnitary(gateUnitary(G), Qubits);
+}
+
+void StateVector::applyCircuit(const Circuit &C) {
+  assert(C.numQubits() <= QubitCount && "circuit wider than state vector");
+  for (const Gate &G : C) {
+    if (G.kind() == GateKind::Measure)
+      continue; // trailing measurements are ignored for state evolution
+    applyGate(G);
+  }
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> P(Amps.size());
+  for (size_t I = 0; I < Amps.size(); ++I)
+    P[I] = std::norm(Amps[I]);
+  return P;
+}
+
+double StateVector::fidelityWith(const StateVector &Other) const {
+  assert(Amps.size() == Other.Amps.size() && "dimension mismatch");
+  Complex Overlap(0, 0);
+  for (size_t I = 0; I < Amps.size(); ++I)
+    Overlap += std::conj(Amps[I]) * Other.Amps[I];
+  return std::norm(Overlap);
+}
+
+double StateVector::norm() const {
+  double Sum = 0;
+  for (const Complex &A : Amps)
+    Sum += std::norm(A);
+  return std::sqrt(Sum);
+}
+
+Matrix sim::circuitUnitary(const Circuit &C) {
+  assert(C.numQubits() <= 12 && "unitary construction limited to 12 qubits");
+  size_t Dim = size_t(1) << C.numQubits();
+  Matrix U(Dim, Dim);
+  for (uint64_t Col = 0; Col < Dim; ++Col) {
+    StateVector SV(C.numQubits(), Col);
+    SV.applyCircuit(C);
+    for (uint64_t Row = 0; Row < Dim; ++Row)
+      U.at(Row, Col) = SV.amplitude(Row);
+  }
+  return U;
+}
+
+bool sim::circuitsEquivalent(const Circuit &A, const Circuit &B, double Tol) {
+  if (A.numQubits() != B.numQubits())
+    return false;
+  return equalUpToGlobalPhase(circuitUnitary(A.withoutNonUnitary()),
+                              circuitUnitary(B.withoutNonUnitary()), Tol);
+}

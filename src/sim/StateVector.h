@@ -1,0 +1,81 @@
+//===- sim/StateVector.h - Dense state-vector simulator --------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ideal (noise-free) dense state-vector simulation, used to validate the
+/// QAOA encodings, to produce measurement distributions for the examples
+/// (paper Fig. 1c), and as the engine behind the circuit-unitary builder.
+///
+/// Qubit 0 occupies the least significant bit of the state index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SIM_STATEVECTOR_H
+#define WEAVER_SIM_STATEVECTOR_H
+
+#include "circuit/Circuit.h"
+#include "sim/Matrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace weaver {
+namespace sim {
+
+/// Dense complex amplitude vector over n qubits (n <= 24).
+class StateVector {
+public:
+  /// Initialises |0...0> over \p NumQubits qubits.
+  explicit StateVector(int NumQubits);
+
+  /// Initialises the computational basis state |Basis>.
+  StateVector(int NumQubits, uint64_t Basis);
+
+  int numQubits() const { return QubitCount; }
+  size_t dimension() const { return Amps.size(); }
+  const std::vector<Complex> &amplitudes() const { return Amps; }
+  Complex amplitude(uint64_t Index) const { return Amps[Index]; }
+
+  /// Applies a k-qubit unitary \p U (2^k x 2^k) to the listed qubits; the
+  /// first listed qubit is the most significant local bit (matching
+  /// \c gateUnitary).
+  void applyUnitary(const Matrix &U, const std::vector<int> &Qubits);
+
+  /// Applies one gate (Barrier is a no-op; Measure is rejected — use
+  /// \c probabilities for sampling).
+  void applyGate(const circuit::Gate &G);
+
+  /// Applies every unitary gate of \p C (barriers skipped, measures must be
+  /// absent or trailing).
+  void applyCircuit(const circuit::Circuit &C);
+
+  /// Returns |amp|^2 for every basis state.
+  std::vector<double> probabilities() const;
+
+  /// Squared overlap |<this|Other>|^2.
+  double fidelityWith(const StateVector &Other) const;
+
+  /// L2 norm (should stay 1 within numerical error).
+  double norm() const;
+
+private:
+  int QubitCount;
+  std::vector<Complex> Amps;
+};
+
+/// Builds the full 2^n x 2^n unitary of \p C by simulating each basis
+/// column. Requires n <= 12 and no measurements.
+Matrix circuitUnitary(const circuit::Circuit &C);
+
+/// Returns true if the two circuits implement the same unitary up to global
+/// phase (n <= 12).
+bool circuitsEquivalent(const circuit::Circuit &A, const circuit::Circuit &B,
+                        double Tol = 1e-8);
+
+} // namespace sim
+} // namespace weaver
+
+#endif // WEAVER_SIM_STATEVECTOR_H

@@ -1,0 +1,38 @@
+//===- support/Geometry.h - 2-D geometry primitives ------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 2-D points and distances for FPQA trap layouts (positions are in
+/// micrometers throughout the project).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_GEOMETRY_H
+#define WEAVER_SUPPORT_GEOMETRY_H
+
+#include <cmath>
+
+namespace weaver {
+
+/// A 2-D point/vector in micrometers.
+struct Vec2 {
+  double X = 0;
+  double Y = 0;
+
+  friend Vec2 operator+(Vec2 A, Vec2 B) { return {A.X + B.X, A.Y + B.Y}; }
+  friend Vec2 operator-(Vec2 A, Vec2 B) { return {A.X - B.X, A.Y - B.Y}; }
+  friend bool operator==(Vec2 A, Vec2 B) { return A.X == B.X && A.Y == B.Y; }
+
+  /// Euclidean length.
+  double length() const { return std::hypot(X, Y); }
+};
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 A, Vec2 B) { return (A - B).length(); }
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_GEOMETRY_H

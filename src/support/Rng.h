@@ -1,0 +1,92 @@
+//===- support/Rng.h - Deterministic random number generation -*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable PRNGs used by workload generators and baselines.
+///
+/// We avoid std::mt19937 so that generated SATLIB-style instances are stable
+/// across standard-library implementations: uf20-01 is the same formula on
+/// every platform, which makes benchmark rows reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_RNG_H
+#define WEAVER_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace weaver {
+
+/// SplitMix64 generator; used to seed Xoshiro and for cheap hashing.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a small, fast, high-quality PRNG.
+class Xoshiro256 {
+public:
+  /// Seeds the full 256-bit state from \p Seed via SplitMix64.
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : S)
+      Word = SM.next();
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound) using Lemire rejection.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection sampling over the top bits avoids modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_RNG_H

@@ -1,0 +1,123 @@
+//===- support/Status.h - Lightweight error handling ----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver: A Retargetable Compiler
+// Framework for FPQA Quantum Architectures" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error handling primitives used across all weaver libraries.
+///
+/// Library code in this project follows the LLVM convention of not using
+/// exceptions. Fallible operations return either a \c Status (for operations
+/// with no payload) or an \c Expected<T> (for operations that produce a
+/// value). Both carry a human-readable error message on failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_STATUS_H
+#define WEAVER_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace weaver {
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is a success value. Failures carry an error
+/// message following the LLVM diagnostic style (lowercase first word, no
+/// trailing period).
+class Status {
+public:
+  /// Creates a success value.
+  Status() = default;
+
+  /// Creates a failure carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    S.Failed = true;
+    return S;
+  }
+
+  /// Creates a success value (named constructor for symmetry).
+  static Status success() { return Status(); }
+
+  /// Returns true if this is a success value.
+  bool ok() const { return !Failed; }
+
+  /// Returns true if this is a failure; enables `if (auto S = f())`.
+  explicit operator bool() const { return Failed; }
+
+  /// Returns the error message; only meaningful when !ok().
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+  bool Failed = false;
+};
+
+/// Result of a fallible operation that produces a \p T on success.
+///
+/// Mirrors llvm::Expected without the checked-flag machinery: the caller
+/// tests with `if (!E)` and reads either `*E` or `E.error()`.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure from a failed Status.
+  Expected(Status S) : Err(std::move(S)) {
+    assert(!Err.ok() && "Expected constructed from a success Status");
+  }
+
+  /// Creates a failure carrying \p Message.
+  static Expected<T> error(std::string Message) {
+    return Expected<T>(Status::error(std::move(Message)));
+  }
+
+  /// Returns true if this holds a value.
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Accesses the contained value; asserts on failure values.
+  T &operator*() {
+    assert(ok() && "dereferencing an error Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing an error Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(ok() && "dereferencing an error Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(ok() && "dereferencing an error Expected");
+    return &*Value;
+  }
+
+  /// Moves the contained value out.
+  T take() {
+    assert(ok() && "taking from an error Expected");
+    return std::move(*Value);
+  }
+
+  /// Returns the failure Status; only meaningful when !ok().
+  const Status &status() const { return Err; }
+
+  /// Returns the error message; only meaningful when !ok().
+  const std::string &message() const { return Err.message(); }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_STATUS_H

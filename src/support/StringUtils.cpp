@@ -1,0 +1,67 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+using namespace weaver;
+
+std::string_view weaver::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> weaver::split(std::string_view S, char Sep,
+                                            bool KeepEmpty) {
+  std::vector<std::string_view> Pieces;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos)
+      Pos = S.size();
+    std::string_view Piece = S.substr(Start, Pos - Start);
+    if (KeepEmpty || !Piece.empty())
+      Pieces.push_back(Piece);
+    Start = Pos + 1;
+    if (Pos == S.size())
+      break;
+  }
+  return Pieces;
+}
+
+bool weaver::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string weaver::formatDouble(double Value) {
+  // 17 significant digits round-trip any double; strip trailing zeros for
+  // readable QASM output.
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  return std::string(Buf);
+}
+
+std::string weaver::formatf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result(Size > 0 ? static_cast<size_t>(Size) : 0, '\0');
+  if (Size > 0)
+    std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

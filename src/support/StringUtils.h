@@ -1,0 +1,41 @@
+//===- support/StringUtils.h - Small string helpers -----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting/trimming/formatting helpers shared by the QASM front end
+/// and the benchmark table printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_STRINGUTILS_H
+#define WEAVER_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weaver {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, dropping empty pieces when \p KeepEmpty is false.
+std::vector<std::string_view> split(std::string_view S, char Sep,
+                                    bool KeepEmpty = false);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Formats a double compactly (shortest representation that round-trips the
+/// displayed precision), e.g. for QASM angle emission.
+std::string formatDouble(double Value);
+
+/// printf-style formatting into a std::string.
+std::string formatf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,51 @@
+//===- support/Table.cpp - Fixed-width table printer ---------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace weaver;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Line += Cells[I];
+      Line += std::string(Widths[I] - Cells[I].size(), ' ');
+      if (I + 1 != Cells.size())
+        Line += "  ";
+    }
+    // Trim trailing spaces from padded last column.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t Total = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    Total += Widths[I] + (I + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(Total, '-') + '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

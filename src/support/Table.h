@@ -1,0 +1,40 @@
+//===- support/Table.h - Fixed-width table printer ------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width table printer used by the benchmark harnesses to emit
+/// the paper-style rows (Figures 8, 10, 11, 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_TABLE_H
+#define WEAVER_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace weaver {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends one row; pads/truncates to the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table, including a separator under the header.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_TABLE_H

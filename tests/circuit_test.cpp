@@ -1,0 +1,291 @@
+//===- tests/circuit_test.cpp - circuit IR unit + property tests ----------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Circuit.h"
+#include "circuit/Decompose.h"
+#include "circuit/Gate.h"
+#include "circuit/Schedule.h"
+#include "sim/StateVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace weaver;
+using namespace weaver::circuit;
+
+namespace {
+constexpr double Pi = 3.14159265358979323846;
+}
+
+// --- Gate metadata, parameterised over every kind ------------------------
+
+class GateKindMeta : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GateKindMeta, NameRoundTrips) {
+  GateKind Kind = static_cast<GateKind>(GetParam());
+  GateKind Parsed;
+  ASSERT_TRUE(parseGateName(gateName(Kind), Parsed));
+  EXPECT_EQ(Parsed, Kind);
+}
+
+TEST_P(GateKindMeta, ArityAndParamsAreConsistent) {
+  GateKind Kind = static_cast<GateKind>(GetParam());
+  EXPECT_LE(gateArity(Kind), 3u);
+  EXPECT_LE(gateNumParams(Kind), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GateKindMeta,
+                         ::testing::Range(0u, NumGateKinds));
+
+TEST(GateName, Aliases) {
+  GateKind K;
+  ASSERT_TRUE(parseGateName("u", K));
+  EXPECT_EQ(K, GateKind::U3);
+  ASSERT_TRUE(parseGateName("cnot", K));
+  EXPECT_EQ(K, GateKind::CX);
+  ASSERT_TRUE(parseGateName("ccnot", K));
+  EXPECT_EQ(K, GateKind::CCX);
+  EXPECT_FALSE(parseGateName("frobnicate", K));
+}
+
+TEST(Gate, AccessorsAndOverlap) {
+  Gate G(GateKind::CCZ, {0, 2, 4});
+  EXPECT_EQ(G.numQubits(), 3u);
+  EXPECT_TRUE(G.actsOn(2));
+  EXPECT_FALSE(G.actsOn(1));
+  Gate H(GateKind::H, {4});
+  EXPECT_TRUE(G.overlaps(H));
+  Gate X(GateKind::X, {1});
+  EXPECT_FALSE(G.overlaps(X));
+  Gate B(GateKind::Barrier, {});
+  EXPECT_TRUE(G.overlaps(B));
+}
+
+TEST(Gate, StrRendersParams) {
+  Gate G(GateKind::RZ, {3}, {0.5});
+  EXPECT_EQ(G.str(), "rz(0.5) q[3]");
+}
+
+// --- Circuit ------------------------------------------------------------
+
+TEST(Circuit, BuilderChainsAndCounts) {
+  Circuit C(3);
+  C.h(0).cx(0, 1).ccz(0, 1, 2).rz(0.3, 2).measureAll();
+  EXPECT_EQ(C.size(), 7u);
+  EXPECT_EQ(C.count(GateKind::Measure), 3u);
+  CircuitStats S = C.stats();
+  EXPECT_EQ(S.OneQubitGates, 2u);
+  EXPECT_EQ(S.TwoQubitGates, 1u);
+  EXPECT_EQ(S.ThreeQubitGates, 1u);
+  EXPECT_EQ(S.TotalGates, 4u);
+}
+
+TEST(Circuit, DepthTracksQubitConflicts) {
+  Circuit C(3);
+  C.h(0).h(1).h(2); // parallel -> depth 1
+  EXPECT_EQ(C.depth(), 1u);
+  C.cx(0, 1); // depth 2
+  C.cx(1, 2); // depth 3 (shares qubit 1)
+  EXPECT_EQ(C.depth(), 3u);
+}
+
+TEST(Circuit, BarrierRaisesDepthFloor) {
+  Circuit C(2);
+  C.h(0);
+  C.barrier();
+  C.h(1); // would be depth 1 without the barrier
+  EXPECT_EQ(C.depth(), 2u);
+}
+
+TEST(Circuit, WithoutNonUnitaryStripsMeasureAndBarrier) {
+  Circuit C(2);
+  C.h(0).barrier().measure(0).cz(0, 1);
+  Circuit U = C.withoutNonUnitary();
+  EXPECT_EQ(U.size(), 2u);
+  EXPECT_EQ(U.gate(0).kind(), GateKind::H);
+  EXPECT_EQ(U.gate(1).kind(), GateKind::CZ);
+}
+
+TEST(Circuit, AppendCircuit) {
+  Circuit A(2), B(2);
+  A.h(0);
+  B.cz(0, 1);
+  A.appendCircuit(B);
+  EXPECT_EQ(A.size(), 2u);
+}
+
+// --- Decomposition: every lowering preserves the unitary -----------------
+
+namespace {
+
+/// Asserts translateToBasis output is equivalent and uses only the basis.
+void expectBasisEquivalent(const Circuit &C, bool KeepCcz) {
+  BasisOptions Opt;
+  Opt.KeepCcz = KeepCcz;
+  Circuit Lowered = translateToBasis(C, Opt);
+  for (const Gate &G : Lowered) {
+    GateKind K = G.kind();
+    bool Allowed = K == GateKind::U3 || K == GateKind::CZ ||
+                   K == GateKind::Barrier || K == GateKind::Measure ||
+                   (KeepCcz && K == GateKind::CCZ);
+    EXPECT_TRUE(Allowed) << "gate outside basis: " << G.str();
+  }
+  EXPECT_TRUE(sim::circuitsEquivalent(C, Lowered))
+      << "lowering changed the unitary";
+}
+
+} // namespace
+
+class SingleQubitLowering : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SingleQubitLowering, U3ParamsMatchUnitary) {
+  GateKind Kind = static_cast<GateKind>(GetParam());
+  if (gateArity(Kind) != 1 || Kind == GateKind::Measure)
+    GTEST_SKIP();
+  Circuit C(1);
+  if (gateNumParams(Kind) == 0)
+    C.append(Gate(Kind, {0}));
+  else if (gateNumParams(Kind) == 1)
+    C.append(Gate(Kind, {0}, {0.7}));
+  else
+    C.append(Gate(Kind, {0}, {0.7, -0.3, 1.1}));
+  expectBasisEquivalent(C, /*KeepCcz=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SingleQubitLowering,
+                         ::testing::Range(0u, NumGateKinds));
+
+TEST(Decompose, CxAsCz) {
+  Circuit C(2);
+  C.cx(0, 1);
+  expectBasisEquivalent(C, false);
+}
+
+TEST(Decompose, CxReversedOperands) {
+  Circuit C(2);
+  C.cx(1, 0);
+  expectBasisEquivalent(C, false);
+}
+
+TEST(Decompose, SwapAsThreeCx) {
+  Circuit C(2);
+  C.swap(0, 1);
+  Circuit Ref(2);
+  appendSwapAsCx(Ref, 0, 1);
+  EXPECT_TRUE(sim::circuitsEquivalent(C, Ref));
+  expectBasisEquivalent(C, false);
+}
+
+TEST(Decompose, RzzLadder) {
+  Circuit C(2);
+  C.rzz(0.9, 0, 1);
+  expectBasisEquivalent(C, false);
+}
+
+TEST(Decompose, CczTwoQubitNetwork) {
+  Circuit C(3);
+  C.ccz(0, 1, 2);
+  Circuit Ref(3);
+  appendCczAsTwoQubit(Ref, 0, 1, 2);
+  EXPECT_TRUE(sim::circuitsEquivalent(C, Ref));
+  expectBasisEquivalent(C, false);
+}
+
+TEST(Decompose, CcxBothModes) {
+  Circuit C(3);
+  C.ccx(0, 1, 2);
+  expectBasisEquivalent(C, false);
+  expectBasisEquivalent(C, true);
+}
+
+TEST(Decompose, CczKeptWhenRequested) {
+  Circuit C(3);
+  C.ccz(0, 1, 2);
+  BasisOptions Opt;
+  Opt.KeepCcz = true;
+  Circuit Lowered = translateToBasis(C, Opt);
+  EXPECT_EQ(Lowered.count(GateKind::CCZ), 1u);
+}
+
+TEST(Decompose, MixedCircuitEquivalence) {
+  Circuit C(4);
+  C.h(0).t(1).sdg(2).cx(0, 1).swap(1, 2).rzz(0.4, 2, 3).ccx(0, 2, 3).s(3);
+  expectBasisEquivalent(C, false);
+  expectBasisEquivalent(C, true);
+}
+
+TEST(Decompose, IdentityDropped) {
+  Circuit C(1);
+  C.id(0);
+  Circuit Lowered = translateToBasis(C);
+  EXPECT_TRUE(Lowered.empty());
+}
+
+TEST(Decompose, U3ParamsForRejectsNothingValid) {
+  double T, P, L;
+  u3ParamsFor(Gate(GateKind::H, {0}), T, P, L);
+  EXPECT_NEAR(T, Pi / 2, 1e-12);
+  EXPECT_NEAR(L, Pi, 1e-12);
+}
+
+// --- Scheduling -----------------------------------------------------------
+
+TEST(Schedule, SerialGatesAccumulate) {
+  Circuit C(1);
+  C.h(0).h(0).h(0);
+  GateDurations D;
+  D.OneQubit = 2.0;
+  Schedule S = scheduleAsap(C, D);
+  EXPECT_DOUBLE_EQ(S.TotalDuration, 6.0);
+  EXPECT_DOUBLE_EQ(S.StartTimes[2], 4.0);
+}
+
+TEST(Schedule, ParallelGatesOverlap) {
+  Circuit C(2);
+  C.h(0).h(1);
+  GateDurations D;
+  D.OneQubit = 2.0;
+  EXPECT_DOUBLE_EQ(scheduleAsap(C, D).TotalDuration, 2.0);
+}
+
+TEST(Schedule, TwoQubitGateWaitsForBothOperands) {
+  Circuit C(2);
+  C.h(0).cz(0, 1);
+  GateDurations D;
+  D.OneQubit = 1.0;
+  D.TwoQubit = 3.0;
+  Schedule S = scheduleAsap(C, D);
+  EXPECT_DOUBLE_EQ(S.StartTimes[1], 1.0);
+  EXPECT_DOUBLE_EQ(S.TotalDuration, 4.0);
+}
+
+TEST(Schedule, BarrierSynchronises) {
+  Circuit C(2);
+  C.h(0).barrier().h(1);
+  GateDurations D;
+  D.OneQubit = 1.0;
+  Schedule S = scheduleAsap(C, D);
+  EXPECT_DOUBLE_EQ(S.StartTimes[2], 1.0);
+  EXPECT_DOUBLE_EQ(S.TotalDuration, 2.0);
+}
+
+TEST(Schedule, MeasureUsesMeasureDuration) {
+  Circuit C(1);
+  C.measure(0);
+  GateDurations D;
+  D.Measure = 5.0;
+  EXPECT_DOUBLE_EQ(scheduleAsap(C, D).TotalDuration, 5.0);
+}
+
+TEST(Schedule, GateDurationByArity) {
+  GateDurations D;
+  D.OneQubit = 1;
+  D.TwoQubit = 2;
+  D.ThreeQubit = 3;
+  EXPECT_DOUBLE_EQ(gateDuration(Gate(GateKind::H, {0}), D), 1);
+  EXPECT_DOUBLE_EQ(gateDuration(Gate(GateKind::CZ, {0, 1}), D), 2);
+  EXPECT_DOUBLE_EQ(gateDuration(Gate(GateKind::CCZ, {0, 1, 2}), D), 3);
+  EXPECT_DOUBLE_EQ(gateDuration(Gate(GateKind::Barrier, {}), D), 0);
+}

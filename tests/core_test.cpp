@@ -1,0 +1,319 @@
+//===- tests/core_test.cpp - Weaver compiler unit + property tests --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ClauseColoring.h"
+#include "core/WChecker.h"
+#include "core/WeaverCompiler.h"
+#include "qaoa/Builder.h"
+#include "qasm/Parser.h"
+#include "qasm/Printer.h"
+#include "sat/Generator.h"
+#include "sim/StateVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace weaver;
+using namespace weaver::core;
+using sat::Clause;
+using sat::CnfFormula;
+
+namespace {
+
+CnfFormula paperExample() {
+  // The running example of Fig. 5: [[-1,-2,-3], [4,-5,6], [3,5,-6]].
+  return CnfFormula(6, {Clause{-1, -2, -3}, Clause{4, -5, 6},
+                        Clause{3, 5, -6}});
+}
+
+} // namespace
+
+// --- Clause colouring ---------------------------------------------------------
+
+TEST(ClauseColoring, PaperExampleUsesTwoColors) {
+  ClauseColoring C = colorClausesDSatur(paperExample());
+  EXPECT_EQ(C.numColors(), 2);
+  EXPECT_TRUE(C.isValid(paperExample()));
+  // Clauses 0 and 1 are variable-disjoint; clause 2 conflicts with both.
+  EXPECT_EQ(C.ColorOf[0], C.ColorOf[1]);
+  EXPECT_NE(C.ColorOf[2], C.ColorOf[0]);
+}
+
+TEST(ClauseColoring, SingleClause) {
+  CnfFormula F(3, {Clause{1, 2, 3}});
+  ClauseColoring C = colorClausesDSatur(F);
+  EXPECT_EQ(C.numColors(), 1);
+}
+
+TEST(ClauseColoring, FullyConflictingClauses) {
+  CnfFormula F(3, {Clause{1, 2, 3}, Clause{1, 2, 3}, Clause{-1, -2, -3}});
+  ClauseColoring C = colorClausesDSatur(F);
+  EXPECT_EQ(C.numColors(), 3);
+  EXPECT_TRUE(C.isValid(F));
+}
+
+TEST(ClauseColoring, EmptyFormula) {
+  CnfFormula F(4, {});
+  EXPECT_EQ(colorClausesDSatur(F).numColors(), 0);
+}
+
+class ColoringProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColoringProperty, DSaturIsValidAndNoWorseThanFirstFit) {
+  CnfFormula F = sat::RandomSatGenerator(GetParam()).generate(15, 60);
+  ClauseColoring DSatur = colorClausesDSatur(F);
+  ClauseColoring FirstFit = colorClausesFirstFit(F);
+  EXPECT_TRUE(DSatur.isValid(F));
+  EXPECT_TRUE(FirstFit.isValid(F));
+  EXPECT_LE(DSatur.numColors(), FirstFit.numColors() + 1)
+      << "DSatur should not be substantially worse than first-fit";
+  // Lower bound: at least ceil(maxOccurrences) colours are needed for the
+  // busiest variable.
+  std::vector<int> Occurrences(F.numVariables() + 1, 0);
+  for (const Clause &C : F.clauses())
+    for (sat::Literal L : C)
+      Occurrences[L.variable()]++;
+  int MaxOcc = *std::max_element(Occurrences.begin(), Occurrences.end());
+  EXPECT_GE(DSatur.numColors(), MaxOcc);
+  // ClausesByColor partitions all clauses.
+  size_t Total = 0;
+  for (const auto &Group : DSatur.ClausesByColor)
+    Total += Group.size();
+  EXPECT_EQ(Total, F.numClauses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+// --- End-to-end compilation + verification -------------------------------------
+
+TEST(WeaverCompiler, PaperExampleVerifies) {
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  ASSERT_TRUE(R->Check.has_value());
+  EXPECT_TRUE(R->Check->StructuralOk) << R->Check->Diagnostic;
+  EXPECT_TRUE(R->Check->UnitaryChecked);
+  EXPECT_TRUE(R->Check->UnitaryOk) << R->Check->Diagnostic;
+  EXPECT_TRUE(R->CompressionUsed);
+  EXPECT_GT(R->Stats.RydbergPulses, 0u);
+  EXPECT_EQ(R->Stats.CczGates, 6u); // 3 clauses x 2 CCZ
+}
+
+TEST(WeaverCompiler, LadderModeVerifies) {
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  Opt.Compression = WeaverOptions::CompressionMode::Off;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_FALSE(R->CompressionUsed);
+  EXPECT_TRUE(R->Check->passed()) << R->Check->Diagnostic;
+  EXPECT_EQ(R->Stats.CczGates, 0u);
+  EXPECT_GT(R->Stats.CzGates, R->Stats.RamanGlobalPulses);
+}
+
+TEST(WeaverCompiler, CompressionReducesPulses) {
+  WeaverOptions On, Off;
+  On.Compression = WeaverOptions::CompressionMode::On;
+  Off.Compression = WeaverOptions::CompressionMode::Off;
+  auto ROn = compileWeaver(paperExample(), On);
+  auto ROff = compileWeaver(paperExample(), Off);
+  ASSERT_TRUE(ROn.ok() && ROff.ok());
+  EXPECT_LT(ROn->Stats.totalPulses(), ROff->Stats.totalPulses());
+  EXPECT_LT(ROn->Stats.Duration, ROff->Stats.Duration);
+}
+
+class CompileProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(CompileProperty, RandomSmallFormulasVerifyEndToEnd) {
+  auto [Seed, Compress] = GetParam();
+  CnfFormula F = sat::RandomSatGenerator(Seed).generate(8, 16);
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  Opt.Compression = Compress ? WeaverOptions::CompressionMode::On
+                             : WeaverOptions::CompressionMode::Off;
+  auto R = compileWeaver(F, Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  ASSERT_TRUE(R->Check.has_value());
+  EXPECT_TRUE(R->Check->StructuralOk) << R->Check->Diagnostic;
+  EXPECT_TRUE(R->Check->UnitaryChecked);
+  EXPECT_TRUE(R->Check->UnitaryOk) << R->Check->Diagnostic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, CompileProperty,
+    ::testing::Combine(::testing::Values(101, 102, 103, 104),
+                       ::testing::Bool()));
+
+TEST(WeaverCompiler, MixedClauseWidthsVerify) {
+  CnfFormula F(5, {Clause{1}, Clause{-2, 3}, Clause{-3, -4, -5},
+                   Clause{2, 4}, Clause{-1, 4, 5}});
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  auto R = compileWeaver(F, Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_TRUE(R->Check->passed()) << R->Check->Diagnostic;
+}
+
+TEST(WeaverCompiler, TwoLayersVerify) {
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  Opt.Qaoa.Layers = 2;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_TRUE(R->Check->passed()) << R->Check->Diagnostic;
+}
+
+TEST(WeaverCompiler, MeasureEmitsMeasurements) {
+  WeaverOptions Opt;
+  Opt.Measure = true;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  size_t Measures = 0;
+  for (const auto &S : R->Program.Statements)
+    Measures += S.Gate.kind() == circuit::GateKind::Measure;
+  EXPECT_EQ(Measures, 6u);
+}
+
+TEST(WeaverCompiler, EmptyFormulaCompiles) {
+  CnfFormula F(3, {});
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  auto R = compileWeaver(F, Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_TRUE(R->Check->passed()) << R->Check->Diagnostic;
+}
+
+TEST(WeaverCompiler, GeneratedWqasmParsesBack) {
+  WeaverOptions Opt;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  std::string Text = qasm::printWqasm(R->Program);
+  auto Back = qasm::parseWqasm(Text);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->Statements.size(), R->Program.Statements.size());
+  EXPECT_EQ(Back->numAnnotations(), R->Program.numAnnotations());
+  // The re-parsed program still passes the checker.
+  CheckReport Report = checkWqasm(*Back, Opt.Hw);
+  EXPECT_TRUE(Report.StructuralOk) << Report.Diagnostic;
+}
+
+TEST(WeaverCompiler, FirstFitColoringStillVerifies) {
+  WeaverOptions Opt;
+  Opt.UseDSatur = false;
+  Opt.RunChecker = true;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_TRUE(R->Check->passed()) << R->Check->Diagnostic;
+}
+
+// --- wChecker negative cases ---------------------------------------------------
+
+TEST(WChecker, DetectsTamperedGate) {
+  WeaverOptions Opt;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok());
+  qasm::WqasmProgram Tampered = R->Program;
+  // Flip the first CCZ statement to a CZ on different qubits.
+  for (auto &S : Tampered.Statements)
+    if (S.Gate.kind() == circuit::GateKind::CCZ) {
+      S.Gate = circuit::Gate(circuit::GateKind::CZ, {0, 1});
+      break;
+    }
+  CheckReport Report = checkWqasm(Tampered, Opt.Hw);
+  EXPECT_FALSE(Report.StructuralOk);
+}
+
+TEST(WChecker, DetectsWrongRamanAngle) {
+  WeaverOptions Opt;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok());
+  qasm::WqasmProgram Tampered = R->Program;
+  for (auto &S : Tampered.Statements)
+    for (auto &A : S.Annotations)
+      if (A.Kind == qasm::AnnotationKind::RamanLocal) {
+        A.AngleX += 0.1;
+        CheckReport Report = checkWqasm(Tampered, Opt.Hw);
+        EXPECT_FALSE(Report.StructuralOk);
+        return;
+      }
+  FAIL() << "no local Raman annotation found";
+}
+
+TEST(WChecker, DetectsMissingPulse) {
+  WeaverOptions Opt;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok());
+  qasm::WqasmProgram Tampered = R->Program;
+  for (auto &S : Tampered.Statements)
+    if (!S.Annotations.empty() &&
+        S.Annotations.back().Kind == qasm::AnnotationKind::Rydberg) {
+      S.Annotations.pop_back();
+      CheckReport Report = checkWqasm(Tampered, Opt.Hw);
+      EXPECT_FALSE(Report.StructuralOk);
+      return;
+    }
+  FAIL() << "no Rydberg annotation found";
+}
+
+TEST(WChecker, DetectsExtraLogicalGate) {
+  WeaverOptions Opt;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok());
+  qasm::WqasmProgram Tampered = R->Program;
+  Tampered.Statements.push_back(
+      qasm::GateStatement{circuit::Gate(circuit::GateKind::H, {0}), {}});
+  CheckReport Report = checkWqasm(Tampered, Opt.Hw);
+  EXPECT_FALSE(Report.StructuralOk);
+}
+
+TEST(WChecker, UnitaryCheckCatchesSemanticDrift) {
+  // Build a program whose pulses are self-consistent but implement a
+  // different unitary than the reference.
+  WeaverOptions Opt;
+  auto R = compileWeaver(paperExample(), Opt);
+  ASSERT_TRUE(R.ok());
+  qaoa::QaoaParams Wrong;
+  Wrong.Gamma = 0.123; // reference with the wrong angle
+  circuit::Circuit Reference =
+      qaoa::buildQaoaCircuit(paperExample(), Wrong);
+  CheckReport Report = checkWqasm(R->Program, Opt.Hw, &Reference);
+  EXPECT_TRUE(Report.StructuralOk) << Report.Diagnostic;
+  EXPECT_TRUE(Report.UnitaryChecked);
+  EXPECT_FALSE(Report.UnitaryOk);
+}
+
+TEST(WChecker, SkipsUnitaryForLargeRegisters) {
+  CnfFormula F = sat::satlibInstance(20, 1);
+  WeaverOptions Opt;
+  auto R = compileWeaver(F, Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  qaoa::QaoaParams P;
+  circuit::Circuit Reference = qaoa::buildQaoaCircuit(F, P);
+  CheckReport Report = checkWqasm(R->Program, Opt.Hw, &Reference);
+  EXPECT_TRUE(Report.StructuralOk) << Report.Diagnostic;
+  EXPECT_FALSE(Report.UnitaryChecked);
+}
+
+TEST(WChecker, ReconstructedCircuitMatchesReference) {
+  CnfFormula F = paperExample();
+  WeaverOptions Opt;
+  Opt.RunChecker = true;
+  auto R = compileWeaver(F, Opt);
+  ASSERT_TRUE(R.ok());
+  ASSERT_TRUE(R->Check->passed());
+  const circuit::Circuit &Rec = R->Check->Reconstructed;
+  EXPECT_EQ(Rec.numQubits(), 6);
+  EXPECT_EQ(Rec.count(circuit::GateKind::CCZ), 6u);
+  // The reconstruction contains only U3/CZ/CCZ.
+  for (const circuit::Gate &G : Rec) {
+    auto K = G.kind();
+    EXPECT_TRUE(K == circuit::GateKind::U3 || K == circuit::GateKind::CZ ||
+                K == circuit::GateKind::CCZ)
+        << G.str();
+  }
+}

@@ -1,0 +1,170 @@
+//===- tests/integration_test.cpp - cross-module integration tests --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end flows across modules: SATLIB-style instances through every
+/// compiler, wQASM serialisation through the parser and checker, and the
+/// qualitative relationships the paper's evaluation rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Atomique.h"
+#include "baselines/Dpqa.h"
+#include "baselines/Superconducting.h"
+#include "core/WeaverCompiler.h"
+#include "qasm/Parser.h"
+#include "qasm/Printer.h"
+#include "sat/Dimacs.h"
+#include "sat/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace weaver;
+using sat::CnfFormula;
+
+TEST(Integration, DimacsToWqasmPipeline) {
+  // DIMACS text -> formula -> Weaver -> wQASM text -> parse -> check.
+  const char *Dimacs = "p cnf 6 3\n-1 -2 -3 0\n4 -5 6 0\n3 5 -6 0\n";
+  auto F = sat::parseDimacs(Dimacs);
+  ASSERT_TRUE(F.ok()) << F.message();
+  core::WeaverOptions Opt;
+  auto R = core::compileWeaver(*F, Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  std::string Wqasm = qasm::printWqasm(R->Program);
+  EXPECT_NE(Wqasm.find("@slm"), std::string::npos);
+  EXPECT_NE(Wqasm.find("@rydberg"), std::string::npos);
+  EXPECT_NE(Wqasm.find("@shuttle"), std::string::npos);
+  auto Back = qasm::parseWqasm(Wqasm);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  core::CheckReport Report = core::checkWqasm(*Back, Opt.Hw);
+  EXPECT_TRUE(Report.StructuralOk) << Report.Diagnostic;
+}
+
+TEST(Integration, Uf20InstanceAllCompilersProduceMetrics) {
+  CnfFormula F = sat::satlibInstance(20, 1);
+  core::WeaverOptions Opt;
+  auto W = core::compileWeaver(F, Opt);
+  ASSERT_TRUE(W.ok()) << W.message();
+  baselines::BaselineResult SC = baselines::compileSuperconducting(F);
+  baselines::BaselineResult AT = baselines::compileAtomique(F);
+  baselines::BaselineResult DP = baselines::compileDpqa(F);
+  ASSERT_TRUE(SC.usable());
+  ASSERT_TRUE(AT.usable());
+  ASSERT_TRUE(DP.usable());
+  EXPECT_GT(W->Stats.Eps, 0);
+  EXPECT_GT(AT.Eps, 0);
+  EXPECT_GT(DP.Eps, 0);
+  EXPECT_GT(SC.Eps, 0);
+}
+
+TEST(Integration, WeaverBeatsAtomiqueOnEpsAndPulses) {
+  // The paper's RQ3 takeaway at 20 variables: Weaver improves EPS over
+  // Atomique; Fig. 10b: fewer pulses.
+  CnfFormula F = sat::satlibInstance(20, 2);
+  core::WeaverOptions Opt;
+  auto W = core::compileWeaver(F, Opt);
+  ASSERT_TRUE(W.ok()) << W.message();
+  baselines::BaselineResult AT = baselines::compileAtomique(F);
+  EXPECT_GT(W->Stats.Eps, AT.Eps);
+  EXPECT_LT(W->Stats.totalPulses(), AT.Pulses);
+}
+
+TEST(Integration, WeaverBeatsSuperconductingOnEps) {
+  CnfFormula F = sat::satlibInstance(20, 3);
+  core::WeaverOptions Opt;
+  auto W = core::compileWeaver(F, Opt);
+  ASSERT_TRUE(W.ok()) << W.message();
+  baselines::BaselineResult SC = baselines::compileSuperconducting(F);
+  EXPECT_GT(W->Stats.Eps, SC.Eps);
+}
+
+TEST(Integration, SuperconductingExecutesFasterButLessFaithfully) {
+  // §8.3: superconducting has faster gate times, hence shorter execution;
+  // §8.4: its fidelity is far worse.
+  CnfFormula F = sat::satlibInstance(20, 4);
+  core::WeaverOptions Opt;
+  auto W = core::compileWeaver(F, Opt);
+  ASSERT_TRUE(W.ok()) << W.message();
+  baselines::BaselineResult SC = baselines::compileSuperconducting(F);
+  EXPECT_LT(SC.ExecutionSeconds, W->Stats.Duration);
+  EXPECT_LT(SC.Eps, W->Stats.Eps / 100);
+}
+
+TEST(Integration, WeaverCompilesFasterThanDpqa) {
+  CnfFormula F = sat::satlibInstance(20, 5);
+  core::WeaverOptions Opt;
+  auto W = core::compileWeaver(F, Opt);
+  ASSERT_TRUE(W.ok()) << W.message();
+  baselines::BaselineResult DP = baselines::compileDpqa(F);
+  ASSERT_TRUE(DP.usable());
+  EXPECT_LT(W->CompileSeconds, DP.CompileSeconds);
+}
+
+TEST(Integration, WeaverScalesToLargestPaperSize) {
+  CnfFormula F = sat::satlibInstance(250, 1);
+  core::WeaverOptions Opt;
+  auto R = core::compileWeaver(F, Opt);
+  ASSERT_TRUE(R.ok()) << R.message();
+  core::CheckReport Report = core::checkWqasm(R->Program, Opt.Hw);
+  EXPECT_TRUE(Report.StructuralOk) << Report.Diagnostic;
+  EXPECT_LT(R->CompileSeconds, 30.0);
+}
+
+TEST(Integration, CompileTimeGrowsSubCubically) {
+  // §5.5: wOptimizer is O(N^2); doubling N should grow compile time by
+  // far less than the routing-style cubic blow-up. Generous bound to stay
+  // robust on shared machines.
+  core::WeaverOptions Opt;
+  auto T = [&](int N) {
+    auto R = core::compileWeaver(sat::satlibInstance(N, 1), Opt);
+    EXPECT_TRUE(R.ok());
+    return R->CompileSeconds;
+  };
+  double T50 = T(50);
+  double T200 = T(200);
+  EXPECT_LT(T200, 64 * std::max(T50, 1e-4))
+      << "compile time grew worse than O(N^3)";
+}
+
+TEST(Integration, CczFidelitySweepHasCrossover) {
+  // Fig. 10c: as CCZ fidelity rises, Weaver's EPS overtakes Atomique's.
+  CnfFormula F = sat::satlibInstance(20, 1);
+  baselines::BaselineResult AT = baselines::compileAtomique(F);
+  double LowCcz, HighCcz;
+  {
+    core::WeaverOptions Opt;
+    Opt.Hw.CczFidelity = 0.95;
+    Opt.Compression = core::WeaverOptions::CompressionMode::On;
+    auto R = core::compileWeaver(F, Opt);
+    ASSERT_TRUE(R.ok());
+    LowCcz = R->Stats.Eps;
+  }
+  {
+    core::WeaverOptions Opt;
+    Opt.Hw.CczFidelity = 0.999;
+    Opt.Compression = core::WeaverOptions::CompressionMode::On;
+    auto R = core::compileWeaver(F, Opt);
+    ASSERT_TRUE(R.ok());
+    HighCcz = R->Stats.Eps;
+  }
+  EXPECT_LT(LowCcz, AT.Eps);
+  EXPECT_GT(HighCcz, AT.Eps);
+}
+
+TEST(Integration, AblationDSaturBeatsFirstFitOnColors) {
+  // Design-choice ablation (DESIGN.md A2): DSatur should not use more
+  // colours than first-fit on the benchmark suite (fewer colours = fewer
+  // sequential zones).
+  int DSaturWins = 0, Ties = 0, Losses = 0;
+  for (int I = 1; I <= 10; ++I) {
+    CnfFormula F = sat::satlibInstance(20, I);
+    int A = core::colorClausesDSatur(F).numColors();
+    int B = core::colorClausesFirstFit(F).numColors();
+    DSaturWins += A < B;
+    Ties += A == B;
+    Losses += A > B;
+  }
+  EXPECT_GE(DSaturWins + Ties, Losses) << "DSatur regressed vs first-fit";
+}

@@ -1,0 +1,260 @@
+//===- tests/qasm_test.cpp - QASM front end unit + property tests ---------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Lexer.h"
+#include "qasm/Parser.h"
+#include "qasm/Printer.h"
+#include "sim/StateVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace weaver;
+using namespace weaver::qasm;
+using circuit::Circuit;
+using circuit::GateKind;
+
+// --- Lexer ---------------------------------------------------------------
+
+TEST(Lexer, TokenisesBasicProgram) {
+  std::string Err;
+  auto Tokens = tokenize("h q[0];", Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  ASSERT_EQ(Tokens.size(), 7u); // h q [ 0 ] ; EOF
+  EXPECT_TRUE(Tokens[0].isIdent("h"));
+  EXPECT_TRUE(Tokens[2].isPunct('['));
+  EXPECT_EQ(Tokens[3].NumberValue, 0.0);
+}
+
+TEST(Lexer, SkipsComments) {
+  std::string Err;
+  auto Tokens = tokenize("// line\nh q; /* block\nstill */ x q;", Err);
+  ASSERT_TRUE(Err.empty());
+  EXPECT_TRUE(Tokens[0].isIdent("h"));
+}
+
+TEST(Lexer, LexesAnnotations) {
+  std::string Err;
+  auto Tokens = tokenize("@rydberg", Err);
+  ASSERT_TRUE(Err.empty());
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Annotation);
+  EXPECT_EQ(Tokens[0].Text, "rydberg");
+}
+
+TEST(Lexer, LexesFloatsAndExponents) {
+  std::string Err;
+  auto Tokens = tokenize("1.5 2e-3 .25", Err);
+  ASSERT_TRUE(Err.empty());
+  EXPECT_DOUBLE_EQ(Tokens[0].NumberValue, 1.5);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumberValue, 2e-3);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumberValue, 0.25);
+}
+
+TEST(Lexer, ReportsUnterminatedString) {
+  std::string Err;
+  tokenize("include \"abc", Err);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Lexer, ReportsBareAt) {
+  std::string Err;
+  tokenize("@ 1", Err);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  std::string Err;
+  auto Tokens = tokenize("h q;\nx q;", Err);
+  ASSERT_TRUE(Err.empty());
+  EXPECT_EQ(Tokens[0].Line, 1);
+  EXPECT_EQ(Tokens[3].Line, 2);
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(Parser, ParsesQasm3Program) {
+  auto C = parseQasmCircuit("OPENQASM 3.0;\n"
+                            "qubit[2] q;\n"
+                            "bit[2] c;\n"
+                            "h q[0];\n"
+                            "cz q[0], q[1];\n"
+                            "measure q[0];\n");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_EQ(C->numQubits(), 2);
+  EXPECT_EQ(C->size(), 3u);
+  EXPECT_EQ(C->gate(1).kind(), GateKind::CZ);
+}
+
+TEST(Parser, ParsesQasm2Program) {
+  auto C = parseQasmCircuit("OPENQASM 2.0;\n"
+                            "include \"qelib1.inc\";\n"
+                            "qreg q[3];\n"
+                            "creg c[3];\n"
+                            "ccx q[0], q[1], q[2];\n"
+                            "measure q[1] -> c[1];\n");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_EQ(C->gate(0).kind(), GateKind::CCX);
+  EXPECT_EQ(C->gate(1).kind(), GateKind::Measure);
+}
+
+TEST(Parser, EvaluatesParameterExpressions) {
+  auto C = parseQasmCircuit("qubit[1] q;\nrz(pi/2) q[0];\n"
+                            "rx(-pi) q[0];\nu3(1+2*3, (2-1)/4, -0.5) q[0];\n");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_NEAR(C->gate(0).param(0), 1.5707963267948966, 1e-12);
+  EXPECT_NEAR(C->gate(1).param(0), -3.14159265358979, 1e-10);
+  EXPECT_NEAR(C->gate(2).param(0), 7.0, 1e-12);
+  EXPECT_NEAR(C->gate(2).param(1), 0.25, 1e-12);
+}
+
+TEST(Parser, MultipleRegistersGetFlatOffsets) {
+  auto C = parseQasmCircuit("qreg a[2];\nqreg b[2];\ncz a[1], b[0];\n");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_EQ(C->gate(0).qubit(0), 1);
+  EXPECT_EQ(C->gate(0).qubit(1), 2);
+}
+
+TEST(Parser, RejectsUnknownGate) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[1] q;\nfrob q[0];\n").ok());
+}
+
+TEST(Parser, RejectsWrongArity) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[2] q;\ncz q[0];\n").ok());
+}
+
+TEST(Parser, RejectsWrongParamCount) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[1] q;\nrz q[0];\n").ok());
+  EXPECT_FALSE(parseQasmCircuit("qubit[1] q;\nh(0.5) q[0];\n").ok());
+}
+
+TEST(Parser, RejectsOutOfRangeIndex) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[2] q;\nh q[2];\n").ok());
+}
+
+TEST(Parser, RejectsUnknownRegister) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[2] q;\nh r[0];\n").ok());
+}
+
+TEST(Parser, RejectsDuplicateOperands) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[2] q;\ncz q[0], q[0];\n").ok());
+}
+
+TEST(Parser, RejectsRedeclaration) {
+  EXPECT_FALSE(parseQasmCircuit("qubit[2] q;\nqubit[2] q;\n").ok());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto C = parseQasmCircuit("qubit[1] q;\nh q[0];\nbogus q[0];\n");
+  ASSERT_FALSE(C.ok());
+  EXPECT_NE(C.message().find("line 3"), std::string::npos) << C.message();
+}
+
+TEST(Parser, BarrierVariants) {
+  auto C = parseQasmCircuit("qubit[2] q;\nbarrier;\nbarrier q[0], q[1];\n");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_EQ(C->count(GateKind::Barrier), 2u);
+}
+
+// --- wQASM annotations -------------------------------------------------------
+
+TEST(Wqasm, ParsesAllAnnotationForms) {
+  auto P = parseWqasm("qubit[2] q;\n"
+                      "@slm [(0, 0), (5, 0)]\n"
+                      "@aod [1, 3] [2]\n"
+                      "@bind q[0] slm 0\n"
+                      "@bind q[1] aod 0 0\n"
+                      "@transfer 1 (1, 0)\n"
+                      "@shuttle row 0 2.5\n"
+                      "@shuttle column 1 -1.5\n"
+                      "@raman global 0 -1.5707963 3.14159265\n"
+                      "@raman local q[0] 3.14159265 0 0\n"
+                      "@rydberg\n"
+                      "x q[0];\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  ASSERT_EQ(P->Statements.size(), 1u);
+  const auto &Anns = P->Statements[0].Annotations;
+  ASSERT_EQ(Anns.size(), 10u);
+  EXPECT_EQ(Anns[0].Kind, AnnotationKind::Slm);
+  EXPECT_EQ(Anns[0].TrapPositions.size(), 2u);
+  EXPECT_EQ(Anns[1].AodXs.size(), 2u);
+  EXPECT_TRUE(Anns[2].BindToSlm);
+  EXPECT_FALSE(Anns[3].BindToSlm);
+  EXPECT_EQ(Anns[4].SlmIndex, 1);
+  EXPECT_TRUE(Anns[5].ShuttleRow);
+  EXPECT_FALSE(Anns[6].ShuttleRow);
+  EXPECT_DOUBLE_EQ(Anns[6].Offset, -1.5);
+  EXPECT_EQ(Anns[7].Kind, AnnotationKind::RamanGlobal);
+  EXPECT_EQ(Anns[8].Kind, AnnotationKind::RamanLocal);
+  EXPECT_EQ(Anns[8].Qubit, 0);
+  EXPECT_EQ(Anns[9].Kind, AnnotationKind::Rydberg);
+}
+
+TEST(Wqasm, TrailingAnnotationsPreserved) {
+  auto P = parseWqasm("qubit[1] q;\nh q[0];\n@shuttle row 0 1\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  EXPECT_EQ(P->TrailingAnnotations.size(), 1u);
+}
+
+TEST(Wqasm, RejectsUnknownAnnotation) {
+  EXPECT_FALSE(parseWqasm("qubit[1] q;\n@teleport\nh q[0];\n").ok());
+}
+
+TEST(Wqasm, RejectsMalformedBind) {
+  EXPECT_FALSE(parseWqasm("qubit[1] q;\n@bind q[0] nowhere 1\nh q[0];\n").ok());
+}
+
+TEST(Wqasm, AnnotationStrRoundTrips) {
+  const char *Lines[] = {
+      "@slm [(0, 0), (5.5, -2)]", "@aod [1, 3] [2, 4]",
+      "@bind q[3] slm 2",         "@bind q[4] aod 1 0",
+      "@transfer 2 (0, 1)",       "@shuttle row 0 7.5",
+      "@shuttle column 1 -2.5",   "@raman global 0 1.5 0",
+      "@raman local q[3] 0 0 2",  "@rydberg"};
+  for (const char *Line : Lines) {
+    std::string Source = std::string("qubit[9] q;\n") + Line + "\nh q[0];\n";
+    auto P = parseWqasm(Source);
+    ASSERT_TRUE(P.ok()) << Line << ": " << P.message();
+    ASSERT_EQ(P->Statements[0].Annotations.size(), 1u) << Line;
+    EXPECT_EQ(P->Statements[0].Annotations[0].str(), Line);
+  }
+}
+
+// --- Printer round trips ------------------------------------------------------
+
+TEST(Printer, EmitsParsableOpenQasm) {
+  Circuit C(3);
+  C.h(0).u3(0.1, -0.2, 0.3, 1).cz(0, 2).ccz(0, 1, 2).rz(0.5, 1).barrier();
+  C.measureAll();
+  std::string Text = printOpenQasm(C);
+  auto Back = parseQasmCircuit(Text);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->size(), C.size());
+  EXPECT_EQ(printOpenQasm(*Back), Text) << "print->parse->print not stable";
+}
+
+TEST(Printer, PreservesUnitarySemantics) {
+  Circuit C(3);
+  C.h(0).t(1).cx(1, 2).rzz(0.7, 0, 2).sdg(2).swap(0, 1);
+  auto Back = parseQasmCircuit(printOpenQasm(C));
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_TRUE(sim::circuitsEquivalent(C, *Back));
+}
+
+TEST(Printer, WqasmRoundTripStable) {
+  WqasmProgram P;
+  P.NumQubits = 2;
+  circuit::Gate H(GateKind::H, {0});
+  GateStatement S{H, {Annotation::ramanLocal(0, 0, -1.5707963267948966,
+                                             3.141592653589793)}};
+  P.Statements.push_back(S);
+  GateStatement S2{circuit::Gate(GateKind::CZ, {0, 1}),
+                   {Annotation::shuttle(true, 0, 3.5), Annotation::rydberg()}};
+  P.Statements.push_back(S2);
+  std::string Text = printWqasm(P);
+  auto Back = parseWqasm(Text);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(printWqasm(*Back), Text);
+  EXPECT_EQ(Back->numAnnotations(), 3u);
+}

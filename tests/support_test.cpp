@@ -1,0 +1,163 @@
+//===- tests/support_test.cpp - support library unit tests ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Geometry.h"
+#include "support/Rng.h"
+#include "support/Status.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace weaver;
+
+TEST(Status, DefaultIsSuccess) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_FALSE(static_cast<bool>(S));
+  EXPECT_TRUE(S.message().empty());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status S = Status::error("file not found");
+  EXPECT_FALSE(S.ok());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.message(), "file not found");
+}
+
+TEST(Status, SuccessNamedConstructor) {
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(*E, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> E = Expected<int>::error("bad input");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.message(), "bad input");
+}
+
+TEST(Expected, TakeMovesValue) {
+  Expected<std::string> E(std::string("payload"));
+  std::string S = E.take();
+  EXPECT_EQ(S, "payload");
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> E(std::string("abc"));
+  EXPECT_EQ(E->size(), 3u);
+}
+
+TEST(StringUtils, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, SplitDropsEmptyByDefault) {
+  auto Pieces = split("a,,b,c", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(StringUtils, SplitKeepsEmptyWhenAsked) {
+  auto Pieces = split("a,,b", ',', /*KeepEmpty=*/true);
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[1], "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("OPENQASM 3.0", "OPENQASM"));
+  EXPECT_FALSE(startsWith("OPEN", "OPENQASM"));
+}
+
+TEST(StringUtils, FormatDoubleRoundTrips) {
+  double Values[] = {0.0, 1.5, -3.14159265358979, 1e-18, 2.5e17};
+  for (double V : Values)
+    EXPECT_EQ(std::stod(formatDouble(V)), V) << formatDouble(V);
+}
+
+TEST(StringUtils, Formatf) {
+  EXPECT_EQ(formatf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatf("%.2f", 1.005), "1.00");
+}
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, XoshiroIsDeterministicAndSeedSensitive) {
+  Xoshiro256 A(1), B(1), C(2);
+  bool Diverged = false;
+  for (int I = 0; I < 64; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    if (VA != C.next())
+      Diverged = true;
+  }
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 Rng(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Xoshiro256 Rng(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(Rng.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 Rng(13);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Geometry, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, VectorArithmetic) {
+  Vec2 A{1, 2}, B{3, 5};
+  EXPECT_EQ((A + B), (Vec2{4, 7}));
+  EXPECT_EQ((B - A), (Vec2{2, 3}));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table T({"a", "b", "c"});
+  T.addRow({"1"});
+  EXPECT_NE(T.render().find("1"), std::string::npos);
+}
