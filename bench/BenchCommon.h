@@ -23,10 +23,7 @@
 #ifndef WEAVER_BENCH_BENCHCOMMON_H
 #define WEAVER_BENCH_BENCHCOMMON_H
 
-#include "baselines/Atomique.h"
-#include "baselines/Dpqa.h"
-#include "baselines/Geyser.h"
-#include "baselines/Superconducting.h"
+#include "baselines/Backend.h"
 #include "core/WeaverCompiler.h"
 #include "sat/Generator.h"
 #include "support/StringUtils.h"
@@ -77,54 +74,26 @@ struct InstanceResults {
 };
 
 inline const char *compilerName(int I) {
-  switch (I) {
-  case 0:
-    return "superconducting";
-  case 1:
-    return "atomique";
-  case 2:
-    return "weaver";
-  case 3:
-    return "dpqa";
-  default:
-    return "geyser";
-  }
+  return baselines::backendKindName(baselines::AllBackendKinds[I]);
 }
-inline constexpr int NumCompilers = 5;
+inline constexpr int NumCompilers =
+    static_cast<int>(std::size(baselines::AllBackendKinds));
 
-/// Adapts a WeaverResult into the shared metric record.
-inline baselines::BaselineResult toBaselineResult(
-    const core::WeaverResult &W) {
-  baselines::BaselineResult R;
-  R.Compiler = "weaver";
-  R.CompileSeconds = W.CompileSeconds;
-  R.Pulses = W.Stats.totalPulses();
-  R.TwoQubitGates = W.Stats.CzGates;
-  R.ThreeQubitGates = W.Stats.CczGates;
-  R.ExecutionSeconds = W.Stats.Duration;
-  R.Eps = W.Stats.Eps;
-  return R;
-}
-
-/// Runs the configured compilers on \p Formula.
+/// Runs the configured compilers on \p Formula through the common
+/// Backend interface.
 inline InstanceResults runSuite(const sat::CnfFormula &Formula,
                                 const SuiteConfig &Config) {
   InstanceResults R;
   bool SkipSlow = Formula.numVariables() > Config.SlowCompilerSizeCap;
   if (Config.RunSuperconducting)
     R.Superconducting =
-        baselines::compileSuperconducting(Formula, Config.Qaoa);
+        baselines::SuperconductingBackend().compile(Formula, Config.Qaoa);
   R.Superconducting.Compiler = "superconducting";
   if (Config.RunAtomique)
-    R.Atomique = baselines::compileAtomique(Formula, Config.Qaoa);
+    R.Atomique = baselines::AtomiqueBackend().compile(Formula, Config.Qaoa);
   R.Atomique.Compiler = "atomique";
-  if (Config.RunWeaver) {
-    core::WeaverOptions Opt;
-    Opt.Qaoa = Config.Qaoa;
-    auto W = core::compileWeaver(Formula, Opt);
-    if (W)
-      R.Weaver = toBaselineResult(*W);
-  }
+  if (Config.RunWeaver)
+    R.Weaver = baselines::WeaverBackend().compile(Formula, Config.Qaoa);
   R.Weaver.Compiler = "weaver";
   if (Config.RunDpqa) {
     if (SkipSlow) {
@@ -132,7 +101,7 @@ inline InstanceResults runSuite(const sat::CnfFormula &Formula,
     } else {
       baselines::DpqaParams P;
       P.DeadlineSeconds = Config.DpqaDeadline;
-      R.Dpqa = baselines::compileDpqa(Formula, Config.Qaoa, P);
+      R.Dpqa = baselines::DpqaBackend(P).compile(Formula, Config.Qaoa);
     }
   }
   R.Dpqa.Compiler = "dpqa";
@@ -143,7 +112,7 @@ inline InstanceResults runSuite(const sat::CnfFormula &Formula,
       baselines::GeyserParams P;
       P.DeadlineSeconds = Config.GeyserDeadline;
       P.SynthesisTrials = Config.GeyserTrials;
-      R.Geyser = baselines::compileGeyser(Formula, Config.Qaoa, P);
+      R.Geyser = baselines::GeyserBackend(P).compile(Formula, Config.Qaoa);
     }
   }
   R.Geyser.Compiler = "geyser";

@@ -7,17 +7,21 @@
 /// Sweeps the SATLIB-style suite sizes the paper evaluates (20..250
 /// variables) through the Weaver pipeline, printing per-size averages —
 /// a miniature of the Fig. 8b/10b/11b/12b series for quick exploration.
-/// Optionally reads a real DIMACS file instead:
+/// The whole sweep is compiled as one batch across the BatchCompiler's
+/// thread pool. Optionally reads a real DIMACS file instead:
 ///   satlib_sweep path/to/instance.cnf
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/BatchCompiler.h"
 #include "core/WeaverCompiler.h"
 #include "sat/Dimacs.h"
 #include "sat/Generator.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
 using namespace weaver;
@@ -51,28 +55,44 @@ int main(int Argc, char **Argv) {
   if (Argc > 1)
     return runSingleFile(Argv[1]);
 
+  constexpr int Instances = 3;
+  // One flat batch over all sizes; the pool balances the mixed instance
+  // sizes dynamically.
+  std::vector<sat::CnfFormula> Batch;
+  for (int N : sat::SatlibSizes)
+    for (int I = 1; I <= Instances; ++I)
+      Batch.push_back(sat::satlibInstance(N, I));
+
+  baselines::WeaverBackend Backend;
+  core::BatchCompiler Compiler(Backend);
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<baselines::BaselineResult> Results =
+      Compiler.compileAll(Batch);
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
   Table T({"size", "clauses", "colours", "pulses", "compile [ms]",
            "exec [ms]", "EPS"});
-  for (int N : sat::SatlibSizes) {
+  for (size_t S = 0; S < std::size(sat::SatlibSizes); ++S) {
+    int N = sat::SatlibSizes[S];
     double Compile = 0, Exec = 0, EpsLog = 0;
     size_t Pulses = 0;
     int Colors = 0;
-    const int Instances = 3;
-    size_t Clauses = 0;
-    for (int I = 1; I <= Instances; ++I) {
-      sat::CnfFormula F = sat::satlibInstance(N, I);
-      Clauses = F.numClauses();
-      core::WeaverOptions Options;
-      auto R = core::compileWeaver(F, Options);
-      if (!R) {
-        std::fprintf(stderr, "error at N=%d: %s\n", N, R.message().c_str());
+    size_t Clauses = Batch[S * Instances].numClauses();
+    for (int I = 0; I < Instances; ++I) {
+      const baselines::BaselineResult &R = Results[S * Instances + I];
+      if (!R.usable()) {
+        std::fprintf(stderr, "error at N=%d: %s\n", N,
+                     R.Diagnostic.empty() ? "instance unsupported"
+                                          : R.Diagnostic.c_str());
         return 1;
       }
-      Compile += R->CompileSeconds / Instances;
-      Exec += R->Stats.Duration / Instances;
-      EpsLog += std::log10(R->Stats.Eps) / Instances;
-      Pulses += R->Stats.totalPulses() / Instances;
-      Colors = std::max(Colors, R->Coloring.numColors());
+      Compile += R.CompileSeconds / Instances;
+      Exec += R.ExecutionSeconds / Instances;
+      EpsLog += std::log10(R.Eps) / Instances;
+      Pulses += R.Pulses / Instances;
+      Colors = std::max(Colors, R.Colors);
     }
     T.addRow({std::to_string(N), std::to_string(Clauses),
               std::to_string(Colors), std::to_string(Pulses),
@@ -80,5 +100,7 @@ int main(int Argc, char **Argv) {
               formatf("1e%.1f", EpsLog)});
   }
   std::printf("%s", T.render().c_str());
+  std::printf("batch: %zu instances on %d threads in %.2f s\n", Batch.size(),
+              Compiler.effectiveThreads(Batch.size()), Wall);
   return 0;
 }

@@ -34,8 +34,8 @@ struct JointScheduler {
   Clock::time_point Deadline;
   bool TimedOut = false;
 
-  std::vector<std::vector<int>> Stages; ///< current partial assignment
-  std::vector<std::vector<int>> BestStages;
+  std::vector<std::vector<int>> Stages = {}; ///< current partial assignment
+  std::vector<std::vector<int>> BestStages = {};
   size_t BestCount = SIZE_MAX;
   long NodeBudgetCheck = 0;
 

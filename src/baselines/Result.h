@@ -33,6 +33,8 @@ struct BaselineResult {
   double ExecutionSeconds = 0;
   double Eps = 0;             ///< estimated probability of success
   bool EpsMeaningful = true;  ///< Geyser's block approximation excludes EPS
+  int Colors = 0;             ///< clause colours used (FPQA/Weaver only)
+  std::string Diagnostic;     ///< failure detail when !usable()
 
   bool usable() const { return !TimedOut && !Unsupported; }
 };

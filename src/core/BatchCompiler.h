@@ -1,0 +1,61 @@
+//===- core/BatchCompiler.h - Multi-threaded batch compilation -*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a batch of formulas through one \c Backend across a thread
+/// pool. Compilations are independent (each runs its own pass pipeline
+/// over its own CompilationContext), so the batch parallelises trivially;
+/// results come back in input order regardless of scheduling. This is the
+/// building block for sweep drivers and the planned compilation service
+/// (ROADMAP "Open items").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_BATCHCOMPILER_H
+#define WEAVER_CORE_BATCHCOMPILER_H
+
+#include "baselines/Backend.h"
+#include "qaoa/Builder.h"
+#include "sat/Cnf.h"
+
+#include <vector>
+
+namespace weaver {
+namespace core {
+
+/// Batch driver configuration.
+struct BatchOptions {
+  /// Worker threads; 0 selects std::thread::hardware_concurrency(). The
+  /// pool never exceeds the batch size.
+  int NumThreads = 0;
+  /// QAOA parameters applied to every instance of the batch.
+  qaoa::QaoaParams Qaoa;
+};
+
+/// Compiles formula batches through a backend with a worker pool.
+class BatchCompiler {
+public:
+  /// \p BackendImpl must outlive the compiler and be thread-safe for
+  /// concurrent compile() calls (all repository backends are).
+  explicit BatchCompiler(const baselines::Backend &BackendImpl,
+                         BatchOptions Options = {});
+
+  /// Compiles every formula; Results[i] corresponds to Formulas[i].
+  std::vector<baselines::BaselineResult>
+  compileAll(const std::vector<sat::CnfFormula> &Formulas) const;
+
+  /// Worker count used for a batch of \p BatchSize formulas.
+  int effectiveThreads(size_t BatchSize) const;
+
+private:
+  const baselines::Backend &BackendImpl;
+  BatchOptions Options;
+};
+
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_BATCHCOMPILER_H

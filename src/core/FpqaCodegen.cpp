@@ -4,983 +4,45 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Raman pulse convention: @raman (x, y, z) applies RZ(z) * RY(y) * RX(x)
-/// (RX first). The gates the generator needs map to:
-///   X       -> (pi, 0, 0)
-///   H       -> (0, -pi/2, pi)          (H = RZ(pi) * RY(-pi/2))
-///   RX(t)   -> (t, 0, 0)
-///   RZ(t)   -> (0, 0, t)
-/// all up to global phase.
+/// Thin compatibility wrapper: the code generation logic formerly living
+/// in this file is now the pass pipeline under core/pipeline/
+/// (ZonePlanningPass -> ShuttleSchedulingPass -> GateLoweringPass). This
+/// entry point keeps the original signature for callers that bring their
+/// own clause colouring.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/FpqaCodegen.h"
 
-#include "fpqa/Device.h"
-
-#include <algorithm>
-#include <cmath>
+#include "core/pipeline/PassManager.h"
 
 using namespace weaver;
 using namespace weaver::core;
-using circuit::Gate;
-using circuit::GateKind;
-using fpqa::FpqaDevice;
-using qasm::Annotation;
-using sat::Clause;
-using sat::CnfFormula;
-using sat::Literal;
 
-namespace {
-
-constexpr double Pi = 3.14159265358979323846;
-
-/// Per-clause placement plan within a colour.
-struct ClausePlan {
-  size_t ClauseIndex = 0;
-  int Width = 0;          ///< number of literals (1..3)
-  int Site = 0;           ///< site index within the colour
-  double SiteX = 0;       ///< site centre x
-  // Sorted participating qubits. Width==3: Left/Target/Right;
-  // Width==2: Left/Right; Width==1: Target only (stays home).
-  int Left = -1, Target = -1, Right = -1;
-  int ColLeft = -1, ColTarget = -1, ColRight = -1;
-  int TargetTrap = -1;    ///< SLM trap index for the target (Width==3)
-};
-
-/// One AOD slot: a (qubit, column, resting x) triple for a colour.
-struct Slot {
-  int Qubit = -1;
-  int Column = -1;
-  double RestX = 0; ///< x while the colour's triangles are formed
-};
-
-struct ColorPlan {
-  std::vector<ClausePlan> Clauses;
-  std::vector<Slot> Slots; ///< sorted by RestX ascending
-};
-
-class Generator {
-public:
-  Generator(const CnfFormula &Formula, const ClauseColoring &Coloring,
-            const fpqa::HardwareParams &Hw, const CodegenOptions &Options)
-      : Formula(Formula), Coloring(Coloring), Options(Options), Device(Hw) {}
-
-  Expected<CodegenResult> run();
-
-private:
-  // --- Emission primitives ---------------------------------------------
-  Status pulse(Annotation A);
-  void stmt(const Gate &G);
-  /// Emits a local Raman pulse plus the matching logical 1-qubit gate.
-  Status ramanGate(int Qubit, GateKind Kind, double Angle = 0);
-  /// Emits a global Raman pulse plus one logical gate per qubit.
-  Status globalRaman(GateKind Kind, double Angle = 0);
-
-  // --- Movement ----------------------------------------------------------
-  Status moveColumnTo(int Column, double X);
-  Status shuttleRowTo(double Y);
-  Status transferHome(int Qubit, int Column);
-  Status transferSite(const ClausePlan &CP);
-
-  // --- Planning ----------------------------------------------------------
-  Status plan();
-  Status emitSetup();
-  Status emitColor(int Color);
-  /// Order-preserving parallel load/unload rounds over (qubit, column)
-  /// pairs sorted by column (Algorithm 2).
-  Status emitHomeRounds(std::vector<Slot> Atoms);
-  /// Colour boundary: unload row atoms the colour does not use, keep the
-  /// reusable ones on their columns, load the rest, then place all slots.
-  Status emitColorBoundary(ColorPlan &Plan);
-  Status emitUnloadAll();
-  Status emitCompressedGates(const ColorPlan &Plan, int Color);
-  Status emitLadderGates(const ColorPlan &Plan, int Color);
-  Status emitPolarityConjugation(const ColorPlan &Plan);
-  Status emitPairPhase(const ColorPlan &Plan);
-  Status emitRzzLadderStep(const ColorPlan &Plan,
-                           const std::vector<std::pair<int, int>> &Pairs,
-                           const std::vector<double> &Thetas);
-  Status emitCxStep(const std::vector<std::pair<int, int>> &Pairs);
-
-  const Clause &clauseOf(const ClausePlan &CP) const {
-    return Formula.clause(CP.ClauseIndex);
-  }
-
-  const CnfFormula &Formula;
-  const ClauseColoring &Coloring;
-  CodegenOptions Options;
-  FpqaDevice Device;
-
-  std::vector<ColorPlan> Plans;
-  std::vector<Vec2> SlmTraps;      ///< homes first, then zone target traps
-  std::map<std::pair<int, int>, int> ZoneSiteTrap; ///< (zone, site) -> trap
-  std::vector<int> AtomColumn;     ///< qubit -> column on the row, or -1
-  std::vector<int> ColumnAtom;     ///< column -> qubit riding it, or -1
-  int NumColumns = 0;
-  std::vector<double> ColX;        ///< column position mirror
-  double RowYPos = 0;
-
-  qasm::WqasmProgram Program;
-  std::vector<Annotation> Pending; ///< annotations awaiting next statement
-};
-
-Status Generator::pulse(Annotation A) {
-  if (Status S = Device.apply(A))
-    return Status::error("codegen produced an invalid instruction: " +
-                         S.message());
-  Pending.push_back(std::move(A));
-  return Status::success();
-}
-
-void Generator::stmt(const Gate &G) {
-  Program.Statements.push_back(qasm::GateStatement{G, std::move(Pending)});
-  Pending.clear();
-}
-
-Status Generator::ramanGate(int Qubit, GateKind Kind, double Angle) {
-  double X = 0, Y = 0, Z = 0;
-  Gate G;
-  switch (Kind) {
-  case GateKind::X:
-    X = Pi;
-    G = Gate(GateKind::X, {Qubit});
-    break;
-  case GateKind::H:
-    Y = -Pi / 2;
-    Z = Pi;
-    G = Gate(GateKind::H, {Qubit});
-    break;
-  case GateKind::RX:
-    X = Angle;
-    G = Gate(GateKind::RX, {Qubit}, {Angle});
-    break;
-  case GateKind::RZ:
-    Z = Angle;
-    G = Gate(GateKind::RZ, {Qubit}, {Angle});
-    break;
-  default:
-    assert(false && "unsupported Raman gate kind");
-  }
-  if (Status S = pulse(Annotation::ramanLocal(Qubit, X, Y, Z)))
-    return S;
-  stmt(G);
-  return Status::success();
-}
-
-Status Generator::globalRaman(GateKind Kind, double Angle) {
-  double X = 0, Y = 0, Z = 0;
-  switch (Kind) {
-  case GateKind::H:
-    Y = -Pi / 2;
-    Z = Pi;
-    break;
-  case GateKind::RX:
-    X = Angle;
-    break;
-  case GateKind::RZ:
-    Z = Angle;
-    break;
-  default:
-    assert(false && "unsupported global Raman gate kind");
-  }
-  if (Status S = pulse(Annotation::ramanGlobal(X, Y, Z)))
-    return S;
-  for (int Q = 0; Q < Formula.numVariables(); ++Q) {
-    Gate G = Kind == GateKind::H
-                 ? Gate(GateKind::H, {Q})
-                 : Gate(Kind, {Q}, {Angle});
-    stmt(G);
-  }
-  return Status::success();
-}
-
-Status Generator::moveColumnTo(int Column, double X) {
-  assert(Column >= 0 && Column < NumColumns && "column index out of range");
-  double Gap = Options.Geometry.BumpGap;
-  if (std::abs(ColX[Column] - X) < 1e-9)
-    return Status::success();
-  // The epsilon keeps exactly-Gap-spaced park targets from triggering
-  // spurious displacement of an already-placed neighbour.
-  if (X > ColX[Column]) {
-    if (Column + 1 < NumColumns && ColX[Column + 1] < X + Gap - 1e-7)
-      if (Status S = moveColumnTo(Column + 1, X + Gap))
-        return S;
-  } else {
-    if (Column > 0 && ColX[Column - 1] > X - Gap + 1e-7)
-      if (Status S = moveColumnTo(Column - 1, X - Gap))
-        return S;
-  }
-  if (Status S =
-          pulse(Annotation::shuttle(/*Row=*/false, Column, X - ColX[Column])))
-    return S;
-  ColX[Column] = X;
-  return Status::success();
-}
-
-Status Generator::shuttleRowTo(double Y) {
-  if (std::abs(RowYPos - Y) < 1e-9)
-    return Status::success();
-  if (Status S = pulse(Annotation::shuttle(/*Row=*/true, 0, Y - RowYPos)))
-    return S;
-  RowYPos = Y;
-  return Status::success();
-}
-
-Status Generator::transferHome(int Qubit, int Column) {
-  // Home trap index equals the qubit id by construction; the transfer
-  // direction is implied by which trap is occupied.
-  return pulse(Annotation::transfer(Qubit, Column, 0));
-}
-
-Status Generator::transferSite(const ClausePlan &CP) {
-  return pulse(Annotation::transfer(CP.TargetTrap, CP.ColTarget, 0));
-}
-
-Status Generator::plan() {
-  const Layout &L = Options.Geometry;
-  int NumQubits = Formula.numVariables();
-
-  // Home traps: one per variable, index == qubit id.
-  for (int Q = 0; Q < NumQubits; ++Q)
-    SlmTraps.push_back(L.homePosition(Q));
-
-  Plans.resize(Coloring.numColors());
-  size_t MaxSlots = 0;
-  for (int Color = 0; Color < Coloring.numColors(); ++Color) {
-    ColorPlan &Plan = Plans[Color];
-    // Deterministic site order: ascending smallest qubit.
-    std::vector<size_t> ClauseIdxs = Coloring.ClausesByColor[Color];
-    std::sort(ClauseIdxs.begin(), ClauseIdxs.end(), [&](size_t A, size_t B) {
-      int MinA = Formula.clause(A)[0].variable(),
-          MinB = Formula.clause(B)[0].variable();
-      for (Literal Lit : Formula.clause(A))
-        MinA = std::min(MinA, Lit.variable());
-      for (Literal Lit : Formula.clause(B))
-        MinB = std::min(MinB, Lit.variable());
-      return MinA != MinB ? MinA < MinB : A < B;
-    });
-    int Site = 0;
-    for (size_t CI : ClauseIdxs) {
-      const Clause &C = Formula.clause(CI);
-      if (C.size() > 3)
-        return Status::error("clause " + std::to_string(CI) +
-                             " has more than three literals");
-      ClausePlan CP;
-      CP.ClauseIndex = CI;
-      CP.Width = static_cast<int>(C.size());
-      std::vector<int> Qs;
-      for (Literal Lit : C)
-        Qs.push_back(Lit.variable() - 1);
-      std::sort(Qs.begin(), Qs.end());
-      if (CP.Width == 1) {
-        CP.Target = Qs[0]; // executes at home, no site
-        Plan.Clauses.push_back(CP);
-        continue;
-      }
-      CP.Site = Site++;
-      CP.SiteX = L.sitePosition(Color, CP.Site).X;
-      if (CP.Width == 2) {
-        CP.Left = Qs[0];
-        CP.Right = Qs[1];
-      } else {
-        CP.Left = Qs[0];
-        CP.Target = Qs[1];
-        CP.Right = Qs[2];
-        // Zone traps are shared by every colour cycled onto the same zone.
-        auto Key = std::make_pair(L.zoneOf(Color), CP.Site);
-        auto It = ZoneSiteTrap.find(Key);
-        if (It == ZoneSiteTrap.end()) {
-          It = ZoneSiteTrap.emplace(Key, static_cast<int>(SlmTraps.size()))
-                   .first;
-          SlmTraps.push_back(L.sitePosition(Color, CP.Site));
-        }
-        CP.TargetTrap = It->second;
-      }
-      Plan.Clauses.push_back(CP);
-    }
-    // Build the slot list (sorted by resting x since sites ascend).
-    for (ClausePlan &CP : Plan.Clauses) {
-      if (CP.Width == 2) {
-        Plan.Slots.push_back({CP.Left, -1, CP.SiteX - 2 * L.TriangleHalfWidth});
-        Plan.Slots.push_back(
-            {CP.Right, -1, CP.SiteX + 2 * L.TriangleHalfWidth});
-      } else if (CP.Width == 3) {
-        Plan.Slots.push_back({CP.Left, -1, CP.SiteX - L.TriangleHalfWidth});
-        Plan.Slots.push_back({CP.Target, -1, CP.SiteX});
-        Plan.Slots.push_back({CP.Right, -1, CP.SiteX + L.TriangleHalfWidth});
-      }
-    }
-    MaxSlots = std::max(MaxSlots, Plan.Slots.size());
-  }
-  NumColumns = static_cast<int>(MaxSlots);
-  // Columns are assigned per colour at emission time (emitColorBoundary):
-  // with atom reuse enabled the assignment depends on which atoms the
-  // previous colour left on the row.
-  return Status::success();
-}
-
-Status Generator::emitSetup() {
-  const Layout &L = Options.Geometry;
-  if (Status S = pulse(Annotation::slm(SlmTraps)))
-    return S;
-  if (NumColumns > 0) {
-    std::vector<double> Xs;
-    for (int C = 0; C < NumColumns; ++C)
-      Xs.push_back(-L.ParkSpacing * (NumColumns - C));
-    ColX = Xs;
-    RowYPos = L.PickupRowY;
-    if (Status S = pulse(Annotation::aod(Xs, {RowYPos})))
-      return S;
-  }
-  for (int Q = 0; Q < Formula.numVariables(); ++Q)
-    if (Status S = pulse(Annotation::bindSlm(Q, Q)))
-      return S;
-  AtomColumn.assign(Formula.numVariables(), -1);
-  ColumnAtom.assign(NumColumns, -1);
-  return Status::success();
-}
-
-/// Partitions \p Atoms into order-preserving rounds and, per round, aligns
-/// each column with its atom's home trap and fires one parallel transfer
-/// batch. This is Algorithm 2 (§5.3): atoms whose order along the AOD row
-/// matches their order at the destination shuttle together; the rest wait
-/// for a later round. Works symmetrically for loading (homes -> row) and
-/// unloading (row -> homes); the transfer direction follows occupancy.
-/// Updates the AtomColumn/ColumnAtom bookkeeping.
-Status Generator::emitHomeRounds(std::vector<Slot> Atoms) {
-  const Layout &L = Options.Geometry;
-  std::sort(Atoms.begin(), Atoms.end(),
-            [](const Slot &A, const Slot &B) { return A.Column < B.Column; });
-  std::vector<Slot> Remaining = std::move(Atoms);
-  while (!Remaining.empty()) {
-    // Greedy maximal subsequence whose home x increases with column index.
-    std::vector<Slot> Round;
-    std::vector<Slot> Deferred;
-    double LastHomeX = -1e300;
-    for (const Slot &S : Remaining) {
-      double HomeX = L.homePosition(S.Qubit).X;
-      if (HomeX > LastHomeX) {
-        Round.push_back(S);
-        LastHomeX = HomeX;
-      } else {
-        Deferred.push_back(S);
-      }
-    }
-    // One parallel shuttle batch: every column of the round moves to its
-    // atom's home column position.
-    for (const Slot &S : Round)
-      if (Status St = moveColumnTo(S.Column, L.homePosition(S.Qubit).X))
-        return St;
-    // A bump cascade from a later move can displace an earlier round
-    // column. If everyone is in place, fire one parallel transfer batch;
-    // otherwise fall back to interleaved move+transfer (still correct,
-    // just without transfer batching for this round).
-    bool AllAligned = true;
-    for (const Slot &S : Round)
-      AllAligned &=
-          std::abs(ColX[S.Column] - L.homePosition(S.Qubit).X) < 1e-9;
-    for (const Slot &S : Round) {
-      if (!AllAligned)
-        if (Status St = moveColumnTo(S.Column, L.homePosition(S.Qubit).X))
-          return St;
-      if (Status St = transferHome(S.Qubit, S.Column))
-        return St;
-      if (AtomColumn[S.Qubit] == -1) { // loaded onto the row
-        AtomColumn[S.Qubit] = S.Column;
-        ColumnAtom[S.Column] = S.Qubit;
-      } else { // dropped into its home trap
-        ColumnAtom[AtomColumn[S.Qubit]] = -1;
-        AtomColumn[S.Qubit] = -1;
-      }
-    }
-    Remaining = std::move(Deferred);
-  }
-  return Status::success();
-}
-
-Status Generator::emitUnloadAll() {
-  std::vector<Slot> OnRow;
-  for (int C = 0; C < NumColumns; ++C)
-    if (ColumnAtom[C] != -1)
-      OnRow.push_back({ColumnAtom[C], C, 0});
-  if (OnRow.empty())
-    return Status::success();
-  if (Status S = shuttleRowTo(Options.Geometry.PickupRowY))
-    return S;
-  return emitHomeRounds(std::move(OnRow));
-}
-
-Status Generator::emitColorBoundary(ColorPlan &Plan) {
-  if (Plan.Slots.empty())
-    return Status::success();
-  const Layout &L = Options.Geometry;
-  double Gap = L.BumpGap;
-  int NumSlots = static_cast<int>(Plan.Slots.size());
-
-  // Idle (atom-free) columns caught between two slot columns must park in
-  // the physical gap between the slots' resting positions. Capacity[i] is
-  // how many parked columns fit between slot i and slot i+1 (zero inside a
-  // clause triangle, ~19 between sites).
-  std::vector<int> Capacity(NumSlots, 0);
-  for (int I = 0; I + 1 < NumSlots; ++I)
-    Capacity[I] = std::max(
-        0, static_cast<int>((Plan.Slots[I + 1].RestX - Plan.Slots[I].RestX) /
-                            Gap) -
-               1);
-
-  // Select reusable atoms (Algorithm 2's order-preservation condition,
-  // adapted to fixed column indices): a row atom keeps its column when
-  // (a) the columns left/right of it suffice for the earlier/later slots,
-  // and (b) the idle columns trapped between it and the previously kept
-  // column fit into the physical slot gaps in between.
-  std::vector<int> SlotColumn(NumSlots, -1);
-  std::vector<bool> ColumnKept(NumColumns, false);
-  if (Options.ReuseAodAtoms) {
-    int LastCol = -1, LastSlot = -1;
-    for (int I = 0; I < NumSlots; ++I) {
-      int Q = Plan.Slots[I].Qubit;
-      int C = AtomColumn[Q];
-      if (C < 0)
-        continue;
-      if (C < LastCol + (I - LastSlot) || C > NumColumns - (NumSlots - I))
-        continue;
-      if (LastSlot >= 0) {
-        int Idle = (C - LastCol - 1) - (I - LastSlot - 1);
-        int Room = 0;
-        for (int T = LastSlot; T < I; ++T)
-          Room += Capacity[T];
-        if (Idle > Room)
-          continue;
-      }
-      SlotColumn[I] = C;
-      ColumnKept[C] = true;
-      LastCol = C;
-      LastSlot = I;
-    }
-  }
-
-  // Unload every row atom that is not kept.
-  std::vector<Slot> ToUnload;
-  for (int C = 0; C < NumColumns; ++C)
-    if (ColumnAtom[C] != -1 && !ColumnKept[C])
-      ToUnload.push_back({ColumnAtom[C], C, 0});
-  bool NeedLoading = false;
-  for (int I = 0; I < NumSlots; ++I)
-    NeedLoading |= SlotColumn[I] == -1;
-  if (!ToUnload.empty() || NeedLoading)
-    if (Status S = shuttleRowTo(L.PickupRowY))
-      return S;
-  if (Status S = emitHomeRounds(std::move(ToUnload)))
-    return S;
-
-  // Assign columns to the runs of unassigned slots.
-  //  * A run that ends at a kept column distributes the idle columns the
-  //    kept atom traps (quota-checked above) greedily into the earliest
-  //    slot gaps, placing the new slots on the indices in between.
-  //  * The head run (no kept column before it) right-aligns against the
-  //    first kept column so all idle columns park on the unbounded left.
-  //  * The tail run (no kept column after it) takes indices immediately
-  //    after the last kept column so idles park on the unbounded right.
-  std::vector<Slot> ToLoad;
-  for (int I = 0; I < NumSlots;) {
-    if (SlotColumn[I] != -1) {
-      ++I;
-      continue;
-    }
-    int RunEnd = I; // one past the run of unassigned slots
-    while (RunEnd < NumSlots && SlotColumn[RunEnd] == -1)
-      ++RunEnd;
-    int LastCol = I == 0 ? -1 : SlotColumn[I - 1];
-    int LastSlot = I - 1;
-    if (RunEnd == NumSlots) {
-      // Tail (or no kept at all): consecutive indices after LastCol.
-      for (int T = I; T < RunEnd; ++T)
-        SlotColumn[T] = ++LastCol;
-    } else if (I == 0) {
-      // Head run: right-align against the first kept column.
-      int KeptCol = SlotColumn[RunEnd];
-      for (int T = RunEnd - 1, C = KeptCol - 1; T >= 0; --T, --C)
-        SlotColumn[T] = C;
-    } else {
-      // Interior run bounded by kept columns on both sides: spread the
-      // trapped idle columns into the gaps greedily, earliest first.
-      int KeptCol = SlotColumn[RunEnd];
-      int RunLen = RunEnd - I;
-      int Idle = (KeptCol - LastCol - 1) - RunLen;
-      int Cursor = LastCol;
-      for (int T = I; T < RunEnd; ++T) {
-        int G = std::min(Idle, Capacity[T - 1]);
-        Cursor += G;
-        Idle -= G;
-        SlotColumn[T] = ++Cursor;
-      }
-      assert(Idle <= Capacity[RunEnd - 1] &&
-             "interior idle columns exceed the final gap capacity");
-      (void)LastSlot;
-    }
-    for (int T = I; T < RunEnd; ++T) {
-      assert(SlotColumn[T] >= 0 && SlotColumn[T] < NumColumns &&
-             !ColumnKept[SlotColumn[T]] && "column assignment out of range");
-      ToLoad.push_back(
-          {Plan.Slots[T].Qubit, SlotColumn[T], Plan.Slots[T].RestX});
-    }
-    I = RunEnd;
-  }
-  if (Status S = emitHomeRounds(std::move(ToLoad)))
-    return S;
-
-  // Record the assignment on the plan.
-  for (int I = 0; I < NumSlots; ++I)
-    Plan.Slots[I].Column = SlotColumn[I];
-  for (ClausePlan &CP : Plan.Clauses)
-    for (const Slot &S : Plan.Slots) {
-      if (S.Qubit == CP.Left)
-        CP.ColLeft = S.Column;
-      if (S.Qubit == CP.Target)
-        CP.ColTarget = S.Column;
-      if (S.Qubit == CP.Right)
-        CP.ColRight = S.Column;
-    }
-
-  // Compute an explicit target for EVERY column: slot columns rest at
-  // their slot x; idle columns park left of the first slot, in the gaps
-  // between slots, or right of the last slot. Targets ascend with index
-  // and keep >= Gap spacing, so the placement sweep below cannot trigger
-  // displacement cascades.
-  std::vector<double> Target(NumColumns);
-  int FirstSlotCol = SlotColumn[0], LastSlotCol = SlotColumn[NumSlots - 1];
-  for (int C = FirstSlotCol - 1, K = 1; C >= 0; --C, ++K)
-    Target[C] = Plan.Slots[0].RestX - Gap * K;
-  for (int C = LastSlotCol + 1, K = 1; C < NumColumns; ++C, ++K)
-    Target[C] = Plan.Slots[NumSlots - 1].RestX + Gap * K;
-  {
-    int SlotIdx = 0;
-    double ParkBase = 0;
-    int ParkRank = 0;
-    for (int C = FirstSlotCol; C <= LastSlotCol; ++C) {
-      if (SlotIdx < NumSlots && SlotColumn[SlotIdx] == C) {
-        Target[C] = Plan.Slots[SlotIdx].RestX;
-        ParkBase = Plan.Slots[SlotIdx].RestX;
-        ParkRank = 0;
-        ++SlotIdx;
-        continue;
-      }
-      Target[C] = ParkBase + Gap * ++ParkRank;
-    }
-  }
-  // Single increasing sweep; a verification pass guards the invariant.
-  for (int Sweep = 0; Sweep < 3; ++Sweep) {
-    bool AllPlaced = true;
-    for (int C = 0; C < NumColumns; ++C) {
-      if (Status St = moveColumnTo(C, Target[C]))
-        return St;
-      AllPlaced &= std::abs(ColX[C] - Target[C]) < 1e-9;
-    }
-    if (AllPlaced)
-      return Status::success();
-  }
-  return Status::error("column placement failed to converge");
-}
-
-Status Generator::emitPolarityConjugation(const ColorPlan &Plan) {
-  for (const ClausePlan &CP : Plan.Clauses)
-    for (Literal Lit : clauseOf(CP))
-      if (!Lit.isNegated())
-        if (Status S = ramanGate(Lit.variable() - 1, GateKind::X))
-          return S;
-  return Status::success();
-}
-
-/// Emits one RZZ ladder step shared by every listed pair: H on the second
-/// qubit, a global Rydberg CZ pulse, H-RZ-H, a second CZ pulse, H. All
-/// pairs must already be the only atom groups inside the blockade radius.
-Status Generator::emitRzzLadderStep(
-    const ColorPlan &, const std::vector<std::pair<int, int>> &Pairs,
-    const std::vector<double> &Thetas) {
-  assert(Pairs.size() == Thetas.size() && "one angle per pair");
-  if (Pairs.empty())
-    return Status::success();
-  for (const auto &[A, B] : Pairs) {
-    (void)A;
-    if (Status S = ramanGate(B, GateKind::H))
-      return S;
-  }
-  if (Status S = pulse(Annotation::rydberg()))
-    return S;
-  for (const auto &[A, B] : Pairs)
-    stmt(Gate(GateKind::CZ, {A, B}));
-  for (size_t I = 0; I < Pairs.size(); ++I) {
-    int B = Pairs[I].second;
-    if (Status S = ramanGate(B, GateKind::H))
-      return S;
-    if (Status S = ramanGate(B, GateKind::RZ, Thetas[I]))
-      return S;
-    if (Status S = ramanGate(B, GateKind::H))
-      return S;
-  }
-  if (Status S = pulse(Annotation::rydberg()))
-    return S;
-  for (const auto &[A, B] : Pairs)
-    stmt(Gate(GateKind::CZ, {A, B}));
-  for (const auto &[A, B] : Pairs) {
-    (void)A;
-    if (Status S = ramanGate(B, GateKind::H))
-      return S;
-  }
-  return Status::success();
-}
-
-/// Emits one CX layer shared by every listed (control, target) pair:
-/// H(target), global Rydberg CZ, H(target).
-Status Generator::emitCxStep(const std::vector<std::pair<int, int>> &Pairs) {
-  if (Pairs.empty())
-    return Status::success();
-  for (const auto &[C, T] : Pairs) {
-    (void)C;
-    if (Status S = ramanGate(T, GateKind::H))
-      return S;
-  }
-  if (Status S = pulse(Annotation::rydberg()))
-    return S;
-  for (const auto &[C, T] : Pairs)
-    stmt(Gate(GateKind::CZ, {C, T}));
-  for (const auto &[C, T] : Pairs) {
-    (void)C;
-    if (Status S = ramanGate(T, GateKind::H))
-      return S;
-  }
-  return Status::success();
-}
-
-/// Shared pair phase: with the row lifted clear of the targets, every
-/// 3-literal clause runs its control-pair RZZ ladder and every 2-literal
-/// clause runs its whole pair ladder; all CZs ride the same two global
-/// Rydberg pulses. Leaves the row lifted.
-Status Generator::emitPairPhase(const ColorPlan &Plan) {
-  const Layout &L = Options.Geometry;
-  double Gamma = Options.Qaoa.Gamma;
-  std::vector<std::pair<int, int>> Pairs;
-  std::vector<double> Thetas;
-  for (const ClausePlan &CP : Plan.Clauses) {
-    if (CP.Width < 2)
-      continue;
-    Pairs.push_back({CP.Left, CP.Right});
-    Thetas.push_back(CP.Width == 3 ? Gamma / 4 : Gamma / 2);
-  }
-  if (Pairs.empty())
-    return Status::success();
-
-  // Bring 2-literal pairs together; lift the row away from the targets.
-  for (const ClausePlan &CP : Plan.Clauses)
-    if (CP.Width == 2)
-      if (Status S = moveColumnTo(CP.ColLeft, CP.SiteX))
-        return S;
-  if (Status S = shuttleRowTo(RowYPos + L.CzLift))
-    return S;
-
-  if (Status S = emitRzzLadderStep(Plan, Pairs, Thetas))
-    return S;
-
-  // Separate the 2-literal pairs again.
-  for (const ClausePlan &CP : Plan.Clauses)
-    if (CP.Width == 2)
-      if (Status S =
-              moveColumnTo(CP.ColLeft, CP.SiteX - 2 * L.TriangleHalfWidth))
-        return S;
-  return Status::success();
-}
-
-Status Generator::emitCompressedGates(const ColorPlan &Plan, int Color) {
-  const Layout &L = Options.Geometry;
-  double Gamma = Options.Qaoa.Gamma;
-
-  if (Status S = emitPolarityConjugation(Plan))
-    return S;
-
-  bool AnyTriple = false;
-  for (const ClausePlan &CP : Plan.Clauses)
-    AnyTriple |= CP.Width == 3;
-
-  if (AnyTriple) {
-    if (Status S = shuttleRowTo(L.gateRowY(Color)))
-      return S;
-    // Drop targets into their zone SLM traps, forming the triangles.
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        if (Status S = transferSite(CP))
-          return S;
-    // H(target), then the CCZ sandwich with RX(g/2) in the middle.
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        if (Status S = ramanGate(CP.Target, GateKind::H))
-          return S;
-    if (Status S = pulse(Annotation::rydberg()))
-      return S;
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        stmt(Gate(GateKind::CCZ, {CP.Left, CP.Target, CP.Right}));
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        if (Status S = ramanGate(CP.Target, GateKind::RX, Gamma / 2))
-          return S;
-    if (Status S = pulse(Annotation::rydberg()))
-      return S;
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        stmt(Gate(GateKind::CCZ, {CP.Left, CP.Target, CP.Right}));
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        if (Status S = ramanGate(CP.Target, GateKind::H))
-          return S;
-  }
-
-  // Control-pair ladders (and complete 2-literal clauses) with the row
-  // lifted so targets stay out of the blockade radius.
-  if (Status S = emitPairPhase(Plan))
-    return S;
-
-  // Single-qubit residues.
-  for (const ClausePlan &CP : Plan.Clauses) {
-    switch (CP.Width) {
-    case 1:
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma))
-        return S;
-      break;
-    case 2:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 2))
-        return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 2))
-        return S;
-      break;
-    case 3:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 4))
-        return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 4))
-        return S;
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma / 2))
-        return S;
-      break;
-    }
-  }
-
-  // Retrieve targets back onto the row.
-  if (AnyTriple) {
-    if (Status S = shuttleRowTo(L.gateRowY(Color)))
-      return S;
-    for (const ClausePlan &CP : Plan.Clauses)
-      if (CP.Width == 3)
-        if (Status S = transferSite(CP))
-          return S;
-  }
-
-  return emitPolarityConjugation(Plan);
-}
-
-/// Uncompressed lowering (§5.4 fallback / ablation): each 3-literal clause
-/// is a pure CZ-ladder network. The three ZZ pair terms execute in the
-/// configurations LT (right control shifted away), RT (left control
-/// shifted away) and LR (row lifted); the cubic term is a CX ladder across
-/// configurations LT-RT-LT.
-Status Generator::emitLadderGates(const ColorPlan &Plan, int Color) {
-  const Layout &L = Options.Geometry;
-  double Gamma = Options.Qaoa.Gamma;
-
-  if (Status S = emitPolarityConjugation(Plan))
-    return S;
-
-  std::vector<const ClausePlan *> Triples;
-  for (const ClausePlan &CP : Plan.Clauses)
-    if (CP.Width == 3)
-      Triples.push_back(&CP);
-
-  auto ShiftRight = [&](bool Away) {
-    for (const ClausePlan *CP : Triples)
-      if (Status S = moveColumnTo(
-              CP->ColRight, CP->SiteX + L.TriangleHalfWidth +
-                                (Away ? L.PairShift : 0.0)))
-        return S;
-    return Status::success();
-  };
-  auto ShiftLeft = [&](bool Away) {
-    for (const ClausePlan *CP : Triples)
-      if (Status S = moveColumnTo(
-              CP->ColLeft, CP->SiteX - L.TriangleHalfWidth -
-                               (Away ? L.PairShift : 0.0)))
-        return S;
-    return Status::success();
-  };
-
-  if (!Triples.empty()) {
-    if (Status S = shuttleRowTo(L.gateRowY(Color)))
-      return S;
-    for (const ClausePlan *CP : Triples)
-      if (Status S = transferSite(*CP))
-        return S;
-
-    std::vector<std::pair<int, int>> Pairs;
-    std::vector<double> Thetas;
-
-    // Config LT: (Left, Target) pairs interact; Right shifted away.
-    if (Status S = ShiftRight(/*Away=*/true))
-      return S;
-    Pairs.clear();
-    Thetas.clear();
-    for (const ClausePlan *CP : Triples) {
-      Pairs.push_back({CP->Left, CP->Target});
-      Thetas.push_back(Gamma / 4);
-    }
-    if (Status S = emitRzzLadderStep(Plan, Pairs, Thetas))
-      return S;
-
-    // Config RT: (Target, Right) pairs; Left shifted away.
-    if (Status S = ShiftRight(/*Away=*/false))
-      return S;
-    if (Status S = ShiftLeft(/*Away=*/true))
-      return S;
-    Pairs.clear();
-    Thetas.clear();
-    for (const ClausePlan *CP : Triples) {
-      Pairs.push_back({CP->Target, CP->Right});
-      Thetas.push_back(Gamma / 4);
-    }
-    if (Status S = emitRzzLadderStep(Plan, Pairs, Thetas))
-      return S;
-    if (Status S = ShiftLeft(/*Away=*/false))
-      return S;
-  }
-
-  // Config LR via the shared pair phase (also completes 2-literal
-  // clauses); leaves the row lifted, so bring it back for the cubic part.
-  if (Status S = emitPairPhase(Plan))
-    return S;
-
-  if (!Triples.empty()) {
-    if (Status S = shuttleRowTo(L.gateRowY(Color)))
-      return S;
-
-    // Cubic CX ladder: CX(L,T) CX(T,R) RZ(R) CX(T,R) CX(L,T).
-    std::vector<std::pair<int, int>> CxLT, CxTR;
-    for (const ClausePlan *CP : Triples) {
-      CxLT.push_back({CP->Left, CP->Target});
-      CxTR.push_back({CP->Target, CP->Right});
-    }
-    if (Status S = ShiftRight(/*Away=*/true))
-      return S;
-    if (Status S = emitCxStep(CxLT))
-      return S;
-    if (Status S = ShiftRight(/*Away=*/false))
-      return S;
-    if (Status S = ShiftLeft(/*Away=*/true))
-      return S;
-    if (Status S = emitCxStep(CxTR))
-      return S;
-    for (const ClausePlan *CP : Triples)
-      if (Status S = ramanGate(CP->Right, GateKind::RZ, -Gamma / 4))
-        return S;
-    if (Status S = emitCxStep(CxTR))
-      return S;
-    if (Status S = ShiftLeft(/*Away=*/false))
-      return S;
-    if (Status S = ShiftRight(/*Away=*/true))
-      return S;
-    if (Status S = emitCxStep(CxLT))
-      return S;
-    if (Status S = ShiftRight(/*Away=*/false))
-      return S;
-  }
-
-  // Single-qubit terms: ladder form uses -g/4 on all three qubits.
-  for (const ClausePlan &CP : Plan.Clauses) {
-    switch (CP.Width) {
-    case 1:
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma))
-        return S;
-      break;
-    case 2:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 2))
-        return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 2))
-        return S;
-      break;
-    case 3:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 4))
-        return S;
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma / 4))
-        return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 4))
-        return S;
-      break;
-    }
-  }
-
-  // Retrieve targets back onto the row.
-  if (!Triples.empty()) {
-    if (Status S = shuttleRowTo(L.gateRowY(Color)))
-      return S;
-    for (const ClausePlan *CP : Triples)
-      if (Status S = transferSite(*CP))
-        return S;
-  }
-
-  return emitPolarityConjugation(Plan);
-}
-
-Status Generator::emitColor(int Color) {
-  ColorPlan &Plan = Plans[Color];
-  if (Status S = emitColorBoundary(Plan))
-    return S;
-  if (Options.UseCompression)
-    return emitCompressedGates(Plan, Color);
-  return emitLadderGates(Plan, Color);
-}
-
-Expected<CodegenResult> Generator::run() {
-  if (Status S = plan())
-    return Expected<CodegenResult>(S);
-  Program.NumQubits = Formula.numVariables();
-  Program.NumBits = Options.Measure ? Formula.numVariables() : 0;
-  if (Status S = emitSetup())
-    return Expected<CodegenResult>(S);
-  if (Status S = globalRaman(GateKind::H))
-    return Expected<CodegenResult>(S);
-  for (int Layer = 0; Layer < Options.Qaoa.Layers; ++Layer) {
-    for (int Color = 0; Color < Coloring.numColors(); ++Color)
-      if (Status S = emitColor(Color))
-        return Expected<CodegenResult>(S);
-    if (Status S = globalRaman(GateKind::RX, 2 * Options.Qaoa.Beta))
-      return Expected<CodegenResult>(S);
-  }
-  // Park every atom back in its home trap so the program ends in the same
-  // configuration it started from (and measurement happens in the SLM).
-  if (Status S = emitUnloadAll())
-    return Expected<CodegenResult>(S);
-  if (Options.Measure)
-    for (int Q = 0; Q < Formula.numVariables(); ++Q)
-      stmt(Gate(GateKind::Measure, {Q}));
-  Program.TrailingAnnotations = std::move(Pending);
-  CodegenResult Result;
-  Result.Program = std::move(Program);
-  return Result;
-}
-
-} // namespace
-
-std::vector<Annotation> CodegenResult::pulseStream() const {
-  std::vector<Annotation> Stream;
+std::vector<qasm::Annotation> CodegenResult::pulseStream() const {
+  std::vector<qasm::Annotation> Stream;
   for (const qasm::GateStatement &S : Program.Statements)
-    for (const Annotation &A : S.Annotations)
+    for (const qasm::Annotation &A : S.Annotations)
       Stream.push_back(A);
-  for (const Annotation &A : Program.TrailingAnnotations)
+  for (const qasm::Annotation &A : Program.TrailingAnnotations)
     Stream.push_back(A);
   return Stream;
 }
 
 Expected<CodegenResult>
-core::generateFpqaProgram(const CnfFormula &Formula,
+core::generateFpqaProgram(const sat::CnfFormula &Formula,
                           const ClauseColoring &Coloring,
                           const fpqa::HardwareParams &Hw,
                           const CodegenOptions &Options) {
-  Generator G(Formula, Coloring, Hw, Options);
-  return G.run();
+  pipeline::CompilationContext Ctx;
+  Ctx.Formula = &Formula;
+  Ctx.Hw = Hw;
+  Ctx.Options = Options;
+  Ctx.Coloring = Coloring;
+  Ctx.HasColoring = true;
+  if (Status S = pipeline::PassManager::codegenPipeline().run(Ctx))
+    return Expected<CodegenResult>(S);
+  CodegenResult Result;
+  Result.Program = std::move(Ctx.Program);
+  return Result;
 }

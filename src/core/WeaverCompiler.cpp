@@ -6,23 +6,18 @@
 
 #include "core/WeaverCompiler.h"
 
+#include "core/pipeline/PassManager.h"
 #include "qaoa/Builder.h"
-
-#include <chrono>
 
 using namespace weaver;
 using namespace weaver::core;
 
 Expected<WeaverResult> core::compileWeaver(const sat::CnfFormula &Formula,
                                            const WeaverOptions &Options) {
-  auto Start = std::chrono::steady_clock::now();
   WeaverResult Result;
 
-  // Pass 1: clause colouring (§5.2).
-  Result.Coloring = Options.UseDSatur ? colorClausesDSatur(Formula)
-                                      : colorClausesFirstFit(Formula);
-
-  // Pass 3 decision: is CCZ compression profitable on this hardware (§5.4)?
+  // Gate-compression decision (§5.4): is CCZ compression profitable on
+  // this hardware?
   switch (Options.Compression) {
   case WeaverOptions::CompressionMode::Auto:
     Result.CompressionUsed = Options.Hw.cczCompressionProfitable();
@@ -35,31 +30,28 @@ Expected<WeaverResult> core::compileWeaver(const sat::CnfFormula &Formula,
     break;
   }
 
-  // Pass 2 + codegen: colour shuttling and pulse emission.
-  CodegenOptions CG;
-  CG.Geometry = Options.Geometry;
-  CG.Qaoa = Options.Qaoa;
-  CG.UseCompression = Result.CompressionUsed;
-  CG.ReuseAodAtoms = Options.ReuseAodAtoms;
-  CG.Measure = Options.Measure;
-  auto Generated =
-      generateFpqaProgram(Formula, Result.Coloring, Options.Hw, CG);
-  if (!Generated)
-    return Expected<WeaverResult>(Generated.status());
-  Result.Program = std::move(Generated->Program);
+  pipeline::CompilationContext Ctx;
+  Ctx.Formula = &Formula;
+  Ctx.Hw = Options.Hw;
+  Ctx.UseDSatur = Options.UseDSatur;
+  Ctx.Options.Geometry = Options.Geometry;
+  Ctx.Options.Qaoa = Options.Qaoa;
+  Ctx.Options.UseCompression = Result.CompressionUsed;
+  Ctx.Options.ReuseAodAtoms = Options.ReuseAodAtoms;
+  Ctx.Options.Measure = Options.Measure;
 
-  Result.CompileSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  // Fig. 3 pipeline: colouring -> zone planning -> colour shuttling ->
+  // gate lowering -> pulse emission (the replayed metrics of §8).
+  if (Status S = pipeline::PassManager::standardFpqaPipeline().run(Ctx))
+    return Expected<WeaverResult>(S);
 
-  // Metrics: replay the pulse stream (not part of compile time).
-  CodegenResult ForStream;
-  ForStream.Program = Result.Program;
-  auto Stats =
-      fpqa::analyzePulseProgram(ForStream.pulseStream(), Options.Hw);
-  if (!Stats)
-    return Expected<WeaverResult>(Stats.status());
-  Result.Stats = *Stats;
+  Result.Coloring = std::move(Ctx.Coloring);
+  Result.Program = std::move(Ctx.Program);
+  Result.Stats = Ctx.Stats;
+  // The pulse-emission replay derives metrics; like the pre-pipeline
+  // implementation, it does not count as compile time.
+  Result.CompileSeconds = Ctx.elapsedSeconds("pulse-emission");
+  Result.PassTimings = std::move(Ctx.Timings);
 
   if (Options.RunChecker) {
     // Reference: the hardware-agnostic (uncompressed ladder) circuit.

@@ -18,6 +18,7 @@
 #include "core/ClauseColoring.h"
 #include "core/FpqaCodegen.h"
 #include "core/WChecker.h"
+#include "core/pipeline/CompilationContext.h"
 #include "fpqa/Analysis.h"
 
 #include <optional>
@@ -56,6 +57,9 @@ struct WeaverResult {
   bool CompressionUsed = false; ///< §5.4 decision
   fpqa::PulseStats Stats;       ///< pulses / duration / EPS (§8)
   double CompileSeconds = 0;    ///< wall-clock compile time
+  /// Per-pass wall-clock breakdown of the pipeline run (diagnostics; the
+  /// pulse-emission replay is excluded from CompileSeconds).
+  std::vector<pipeline::PassTiming> PassTimings;
   std::optional<CheckReport> Check; ///< present when RunChecker was set
 };
 

@@ -1,0 +1,140 @@
+//===- core/pipeline/CompilationContext.h - Shared pass state --*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation context every pass of the FPQA pipeline reads and
+/// extends: the input formula and hardware, the clause colouring (§5.2),
+/// the zone/site placement plan (§5.3, Fig. 5), the per-boundary shuttle
+/// schedules (Algorithm 2), the emitted wQASM program, the replayed pulse
+/// statistics, and per-pass timing diagnostics. Passes communicate only
+/// through this context, so each stage can be tested (and eventually
+/// cached) in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_PIPELINE_COMPILATIONCONTEXT_H
+#define WEAVER_CORE_PIPELINE_COMPILATIONCONTEXT_H
+
+#include "core/ClauseColoring.h"
+#include "core/FpqaCodegen.h"
+#include "fpqa/Analysis.h"
+#include "fpqa/HardwareParams.h"
+#include "qasm/Program.h"
+#include "sat/Cnf.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace core {
+namespace pipeline {
+
+/// Per-clause placement plan within a colour (Fig. 5 site assignment).
+struct ClausePlan {
+  size_t ClauseIndex = 0;
+  int Width = 0;          ///< number of literals (1..3)
+  int Site = 0;           ///< site index within the colour
+  double SiteX = 0;       ///< site centre x
+  // Sorted participating qubits. Width==3: Left/Target/Right;
+  // Width==2: Left/Right; Width==1: Target only (stays home).
+  int Left = -1, Target = -1, Right = -1;
+  int ColLeft = -1, ColTarget = -1, ColRight = -1;
+  int TargetTrap = -1;    ///< SLM trap index for the target (Width==3)
+};
+
+/// One AOD slot: a (qubit, column, resting x) triple for a colour.
+struct Slot {
+  int Qubit = -1;
+  int Column = -1;
+  double RestX = 0; ///< x while the colour's triangles are formed
+};
+
+/// Placement plan of one colour: its clause sites and AOD slots.
+struct ColorPlan {
+  std::vector<ClausePlan> Clauses;
+  std::vector<Slot> Slots; ///< sorted by RestX ascending
+};
+
+/// Planned atom traffic for one colour boundary — one (layer, colour) step
+/// of the execution order. Computed by ShuttleSchedulingPass from the
+/// simulated row occupancy; executed by GateLoweringPass.
+struct BoundarySchedule {
+  /// The boundary belongs to a colour without AOD slots; nothing moves.
+  bool Empty = true;
+  /// The row must visit the pickup row before transfers happen.
+  bool NeedPickupShuttle = false;
+  /// Row atoms returning to their home traps (Column valid).
+  std::vector<Slot> ToUnload;
+  /// Home atoms loading onto the row (Column and RestX valid).
+  std::vector<Slot> ToLoad;
+  /// Column assigned to each slot of the colour's plan.
+  std::vector<int> SlotColumn;
+  /// Final resting x of EVERY column once the boundary completes.
+  std::vector<double> ColumnTargets;
+};
+
+/// Wall-clock duration of one executed pass.
+struct PassTiming {
+  std::string PassName;
+  double Seconds = 0;
+};
+
+/// All state shared between the pipeline passes. Inputs are set by the
+/// driver before PassManager::run; each pass fills its output section.
+struct CompilationContext {
+  // --- Inputs -----------------------------------------------------------
+  const sat::CnfFormula *Formula = nullptr;
+  fpqa::HardwareParams Hw;
+  CodegenOptions Options;
+  /// Colouring heuristic selection when the pipeline colours the formula
+  /// itself (ClauseColoringPass); ignored when HasColoring is set.
+  bool UseDSatur = true;
+
+  // --- ClauseColoringPass -----------------------------------------------
+  ClauseColoring Coloring;
+  /// Set when the driver supplied a colouring; ClauseColoringPass then
+  /// validates instead of recolouring.
+  bool HasColoring = false;
+
+  // --- ZonePlanningPass -------------------------------------------------
+  std::vector<ColorPlan> Plans;
+  std::vector<Vec2> SlmTraps;      ///< homes first, then zone target traps
+  std::map<std::pair<int, int>, int> ZoneSiteTrap; ///< (zone, site) -> trap
+  int NumColumns = 0;
+
+  // --- ShuttleSchedulingPass (execution order, layer-major) -------------
+  std::vector<BoundarySchedule> Boundaries;
+  /// Atoms still on the row after the last layer, unloaded at the end.
+  std::vector<Slot> FinalUnload;
+
+  // --- GateLoweringPass -------------------------------------------------
+  qasm::WqasmProgram Program;
+
+  // --- PulseEmissionPass ------------------------------------------------
+  std::vector<qasm::Annotation> PulseStream;
+  fpqa::PulseStats Stats;
+  bool HasStats = false;
+
+  // --- Diagnostics ------------------------------------------------------
+  std::vector<PassTiming> Timings;
+
+  /// Sum of recorded pass durations, excluding \p ExcludedPass (pass an
+  /// empty string to sum everything).
+  double elapsedSeconds(const std::string &ExcludedPass = "") const {
+    double Total = 0;
+    for (const PassTiming &T : Timings)
+      if (ExcludedPass.empty() || T.PassName != ExcludedPass)
+        Total += T.Seconds;
+    return Total;
+  }
+};
+
+} // namespace pipeline
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_PIPELINE_COMPILATIONCONTEXT_H

@@ -1,0 +1,705 @@
+//===- core/pipeline/GateLoweringPass.cpp - Gate lowering pass ------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/pipeline/GateLoweringPass.h"
+
+#include "fpqa/Device.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace weaver;
+using namespace weaver::core;
+using namespace weaver::core::pipeline;
+using circuit::Gate;
+using circuit::GateKind;
+using fpqa::FpqaDevice;
+using qasm::Annotation;
+using sat::Clause;
+using sat::Literal;
+
+namespace {
+
+constexpr double Pi = 3.14159265358979323846;
+
+/// Executes the planned movement and lowers the clause gates. All
+/// decisions were taken by the planning passes; this class only tracks the
+/// continuous column/row positions needed to emit correct shuttle offsets
+/// (including bump cascades) and the device state machine validation.
+class Emitter {
+public:
+  explicit Emitter(CompilationContext &Ctx)
+      : Ctx(Ctx), Formula(*Ctx.Formula), Device(Ctx.Hw) {}
+
+  Status run();
+
+private:
+  // --- Emission primitives ---------------------------------------------
+  Status pulse(Annotation A);
+  void stmt(const Gate &G);
+  /// Emits a local Raman pulse plus the matching logical 1-qubit gate.
+  Status ramanGate(int Qubit, GateKind Kind, double Angle = 0);
+  /// Emits a global Raman pulse plus one logical gate per qubit.
+  Status globalRaman(GateKind Kind, double Angle = 0);
+
+  // --- Movement ----------------------------------------------------------
+  Status moveColumnTo(int Column, double X);
+  Status shuttleRowTo(double Y);
+  Status transferHome(int Qubit, int Column);
+  Status transferSite(const ClausePlan &CP);
+
+  // --- Program structure -------------------------------------------------
+  Status emitSetup();
+  Status emitColor(int Color, const BoundarySchedule &Boundary);
+  /// Order-preserving parallel load/unload rounds over (qubit, column)
+  /// pairs sorted by column (Algorithm 2).
+  Status emitHomeRounds(std::vector<Slot> Atoms);
+  /// Executes a planned colour boundary: unload, load, then place all
+  /// columns on their scheduled targets.
+  Status emitColorBoundary(ColorPlan &Plan, const BoundarySchedule &B);
+  Status emitFinalUnload();
+  Status emitCompressedGates(const ColorPlan &Plan, int Color);
+  Status emitLadderGates(const ColorPlan &Plan, int Color);
+  Status emitPolarityConjugation(const ColorPlan &Plan);
+  Status emitPairPhase(const ColorPlan &Plan);
+  Status emitRzzLadderStep(const std::vector<std::pair<int, int>> &Pairs,
+                           const std::vector<double> &Thetas);
+  Status emitCxStep(const std::vector<std::pair<int, int>> &Pairs);
+
+  const Clause &clauseOf(const ClausePlan &CP) const {
+    return Formula.clause(CP.ClauseIndex);
+  }
+
+  CompilationContext &Ctx;
+  const sat::CnfFormula &Formula;
+  FpqaDevice Device;
+
+  std::vector<double> ColX; ///< column position mirror
+  double RowYPos = 0;
+
+  qasm::WqasmProgram Program;
+  std::vector<Annotation> Pending; ///< annotations awaiting next statement
+};
+
+Status Emitter::pulse(Annotation A) {
+  if (Status S = Device.apply(A))
+    return Status::error("codegen produced an invalid instruction: " +
+                         S.message());
+  Pending.push_back(std::move(A));
+  return Status::success();
+}
+
+void Emitter::stmt(const Gate &G) {
+  Program.Statements.push_back(qasm::GateStatement{G, std::move(Pending)});
+  Pending.clear();
+}
+
+Status Emitter::ramanGate(int Qubit, GateKind Kind, double Angle) {
+  double X = 0, Y = 0, Z = 0;
+  Gate G;
+  switch (Kind) {
+  case GateKind::X:
+    X = Pi;
+    G = Gate(GateKind::X, {Qubit});
+    break;
+  case GateKind::H:
+    Y = -Pi / 2;
+    Z = Pi;
+    G = Gate(GateKind::H, {Qubit});
+    break;
+  case GateKind::RX:
+    X = Angle;
+    G = Gate(GateKind::RX, {Qubit}, {Angle});
+    break;
+  case GateKind::RZ:
+    Z = Angle;
+    G = Gate(GateKind::RZ, {Qubit}, {Angle});
+    break;
+  default:
+    assert(false && "unsupported Raman gate kind");
+  }
+  if (Status S = pulse(Annotation::ramanLocal(Qubit, X, Y, Z)))
+    return S;
+  stmt(G);
+  return Status::success();
+}
+
+Status Emitter::globalRaman(GateKind Kind, double Angle) {
+  double X = 0, Y = 0, Z = 0;
+  switch (Kind) {
+  case GateKind::H:
+    Y = -Pi / 2;
+    Z = Pi;
+    break;
+  case GateKind::RX:
+    X = Angle;
+    break;
+  case GateKind::RZ:
+    Z = Angle;
+    break;
+  default:
+    assert(false && "unsupported global Raman gate kind");
+  }
+  if (Status S = pulse(Annotation::ramanGlobal(X, Y, Z)))
+    return S;
+  for (int Q = 0; Q < Formula.numVariables(); ++Q) {
+    Gate G = Kind == GateKind::H ? Gate(GateKind::H, {Q})
+                                 : Gate(Kind, {Q}, {Angle});
+    stmt(G);
+  }
+  return Status::success();
+}
+
+Status Emitter::moveColumnTo(int Column, double X) {
+  assert(Column >= 0 && Column < Ctx.NumColumns &&
+         "column index out of range");
+  double Gap = Ctx.Options.Geometry.BumpGap;
+  if (std::abs(ColX[Column] - X) < 1e-9)
+    return Status::success();
+  // The epsilon keeps exactly-Gap-spaced park targets from triggering
+  // spurious displacement of an already-placed neighbour.
+  if (X > ColX[Column]) {
+    if (Column + 1 < Ctx.NumColumns && ColX[Column + 1] < X + Gap - 1e-7)
+      if (Status S = moveColumnTo(Column + 1, X + Gap))
+        return S;
+  } else {
+    if (Column > 0 && ColX[Column - 1] > X - Gap + 1e-7)
+      if (Status S = moveColumnTo(Column - 1, X - Gap))
+        return S;
+  }
+  if (Status S =
+          pulse(Annotation::shuttle(/*Row=*/false, Column, X - ColX[Column])))
+    return S;
+  ColX[Column] = X;
+  return Status::success();
+}
+
+Status Emitter::shuttleRowTo(double Y) {
+  if (std::abs(RowYPos - Y) < 1e-9)
+    return Status::success();
+  if (Status S = pulse(Annotation::shuttle(/*Row=*/true, 0, Y - RowYPos)))
+    return S;
+  RowYPos = Y;
+  return Status::success();
+}
+
+Status Emitter::transferHome(int Qubit, int Column) {
+  // Home trap index equals the qubit id by construction; the transfer
+  // direction is implied by which trap is occupied.
+  return pulse(Annotation::transfer(Qubit, Column, 0));
+}
+
+Status Emitter::transferSite(const ClausePlan &CP) {
+  return pulse(Annotation::transfer(CP.TargetTrap, CP.ColTarget, 0));
+}
+
+Status Emitter::emitSetup() {
+  const Layout &L = Ctx.Options.Geometry;
+  if (Status S = pulse(Annotation::slm(Ctx.SlmTraps)))
+    return S;
+  if (Ctx.NumColumns > 0) {
+    std::vector<double> Xs;
+    for (int C = 0; C < Ctx.NumColumns; ++C)
+      Xs.push_back(-L.ParkSpacing * (Ctx.NumColumns - C));
+    ColX = Xs;
+    RowYPos = L.PickupRowY;
+    if (Status S = pulse(Annotation::aod(Xs, {RowYPos})))
+      return S;
+  }
+  for (int Q = 0; Q < Formula.numVariables(); ++Q)
+    if (Status S = pulse(Annotation::bindSlm(Q, Q)))
+      return S;
+  return Status::success();
+}
+
+/// Partitions \p Atoms into order-preserving rounds and, per round, aligns
+/// each column with its atom's home trap and fires one parallel transfer
+/// batch. This is Algorithm 2 (§5.3): atoms whose order along the AOD row
+/// matches their order at the destination shuttle together; the rest wait
+/// for a later round. Works symmetrically for loading (homes -> row) and
+/// unloading (row -> homes); the transfer direction follows occupancy.
+Status Emitter::emitHomeRounds(std::vector<Slot> Atoms) {
+  const Layout &L = Ctx.Options.Geometry;
+  std::sort(Atoms.begin(), Atoms.end(),
+            [](const Slot &A, const Slot &B) { return A.Column < B.Column; });
+  std::vector<Slot> Remaining = std::move(Atoms);
+  while (!Remaining.empty()) {
+    // Greedy maximal subsequence whose home x increases with column index.
+    std::vector<Slot> Round;
+    std::vector<Slot> Deferred;
+    double LastHomeX = -1e300;
+    for (const Slot &S : Remaining) {
+      double HomeX = L.homePosition(S.Qubit).X;
+      if (HomeX > LastHomeX) {
+        Round.push_back(S);
+        LastHomeX = HomeX;
+      } else {
+        Deferred.push_back(S);
+      }
+    }
+    // One parallel shuttle batch: every column of the round moves to its
+    // atom's home column position.
+    for (const Slot &S : Round)
+      if (Status St = moveColumnTo(S.Column, L.homePosition(S.Qubit).X))
+        return St;
+    // A bump cascade from a later move can displace an earlier round
+    // column. If everyone is in place, fire one parallel transfer batch;
+    // otherwise fall back to interleaved move+transfer (still correct,
+    // just without transfer batching for this round).
+    bool AllAligned = true;
+    for (const Slot &S : Round)
+      AllAligned &=
+          std::abs(ColX[S.Column] - L.homePosition(S.Qubit).X) < 1e-9;
+    for (const Slot &S : Round) {
+      if (!AllAligned)
+        if (Status St = moveColumnTo(S.Column, L.homePosition(S.Qubit).X))
+          return St;
+      if (Status St = transferHome(S.Qubit, S.Column))
+        return St;
+    }
+    Remaining = std::move(Deferred);
+  }
+  return Status::success();
+}
+
+Status Emitter::emitFinalUnload() {
+  if (Ctx.FinalUnload.empty())
+    return Status::success();
+  if (Status S = shuttleRowTo(Ctx.Options.Geometry.PickupRowY))
+    return S;
+  return emitHomeRounds(Ctx.FinalUnload);
+}
+
+Status Emitter::emitColorBoundary(ColorPlan &Plan,
+                                  const BoundarySchedule &B) {
+  if (B.Empty)
+    return Status::success();
+  if (B.NeedPickupShuttle)
+    if (Status S = shuttleRowTo(Ctx.Options.Geometry.PickupRowY))
+      return S;
+  if (Status S = emitHomeRounds(B.ToUnload))
+    return S;
+  if (Status S = emitHomeRounds(B.ToLoad))
+    return S;
+
+  // Record the scheduled assignment on the plan.
+  int NumSlots = static_cast<int>(Plan.Slots.size());
+  for (int I = 0; I < NumSlots; ++I)
+    Plan.Slots[I].Column = B.SlotColumn[I];
+  for (ClausePlan &CP : Plan.Clauses)
+    for (const Slot &S : Plan.Slots) {
+      if (S.Qubit == CP.Left)
+        CP.ColLeft = S.Column;
+      if (S.Qubit == CP.Target)
+        CP.ColTarget = S.Column;
+      if (S.Qubit == CP.Right)
+        CP.ColRight = S.Column;
+    }
+
+  // Single increasing sweep onto the scheduled targets; a verification
+  // pass guards the invariant.
+  for (int Sweep = 0; Sweep < 3; ++Sweep) {
+    bool AllPlaced = true;
+    for (int C = 0; C < Ctx.NumColumns; ++C) {
+      if (Status St = moveColumnTo(C, B.ColumnTargets[C]))
+        return St;
+      AllPlaced &= std::abs(ColX[C] - B.ColumnTargets[C]) < 1e-9;
+    }
+    if (AllPlaced)
+      return Status::success();
+  }
+  return Status::error("column placement failed to converge");
+}
+
+Status Emitter::emitPolarityConjugation(const ColorPlan &Plan) {
+  for (const ClausePlan &CP : Plan.Clauses)
+    for (Literal Lit : clauseOf(CP))
+      if (!Lit.isNegated())
+        if (Status S = ramanGate(Lit.variable() - 1, GateKind::X))
+          return S;
+  return Status::success();
+}
+
+/// Emits one RZZ ladder step shared by every listed pair: H on the second
+/// qubit, a global Rydberg CZ pulse, H-RZ-H, a second CZ pulse, H. All
+/// pairs must already be the only atom groups inside the blockade radius.
+Status Emitter::emitRzzLadderStep(
+    const std::vector<std::pair<int, int>> &Pairs,
+    const std::vector<double> &Thetas) {
+  assert(Pairs.size() == Thetas.size() && "one angle per pair");
+  if (Pairs.empty())
+    return Status::success();
+  for (const auto &[A, B] : Pairs) {
+    (void)A;
+    if (Status S = ramanGate(B, GateKind::H))
+      return S;
+  }
+  if (Status S = pulse(Annotation::rydberg()))
+    return S;
+  for (const auto &[A, B] : Pairs)
+    stmt(Gate(GateKind::CZ, {A, B}));
+  for (size_t I = 0; I < Pairs.size(); ++I) {
+    int B = Pairs[I].second;
+    if (Status S = ramanGate(B, GateKind::H))
+      return S;
+    if (Status S = ramanGate(B, GateKind::RZ, Thetas[I]))
+      return S;
+    if (Status S = ramanGate(B, GateKind::H))
+      return S;
+  }
+  if (Status S = pulse(Annotation::rydberg()))
+    return S;
+  for (const auto &[A, B] : Pairs)
+    stmt(Gate(GateKind::CZ, {A, B}));
+  for (const auto &[A, B] : Pairs) {
+    (void)A;
+    if (Status S = ramanGate(B, GateKind::H))
+      return S;
+  }
+  return Status::success();
+}
+
+/// Emits one CX layer shared by every listed (control, target) pair:
+/// H(target), global Rydberg CZ, H(target).
+Status Emitter::emitCxStep(const std::vector<std::pair<int, int>> &Pairs) {
+  if (Pairs.empty())
+    return Status::success();
+  for (const auto &[C, T] : Pairs) {
+    (void)C;
+    if (Status S = ramanGate(T, GateKind::H))
+      return S;
+  }
+  if (Status S = pulse(Annotation::rydberg()))
+    return S;
+  for (const auto &[C, T] : Pairs)
+    stmt(Gate(GateKind::CZ, {C, T}));
+  for (const auto &[C, T] : Pairs) {
+    (void)C;
+    if (Status S = ramanGate(T, GateKind::H))
+      return S;
+  }
+  return Status::success();
+}
+
+/// Shared pair phase: with the row lifted clear of the targets, every
+/// 3-literal clause runs its control-pair RZZ ladder and every 2-literal
+/// clause runs its whole pair ladder; all CZs ride the same two global
+/// Rydberg pulses. Leaves the row lifted.
+Status Emitter::emitPairPhase(const ColorPlan &Plan) {
+  const Layout &L = Ctx.Options.Geometry;
+  double Gamma = Ctx.Options.Qaoa.Gamma;
+  std::vector<std::pair<int, int>> Pairs;
+  std::vector<double> Thetas;
+  for (const ClausePlan &CP : Plan.Clauses) {
+    if (CP.Width < 2)
+      continue;
+    Pairs.push_back({CP.Left, CP.Right});
+    Thetas.push_back(CP.Width == 3 ? Gamma / 4 : Gamma / 2);
+  }
+  if (Pairs.empty())
+    return Status::success();
+
+  // Bring 2-literal pairs together; lift the row away from the targets.
+  for (const ClausePlan &CP : Plan.Clauses)
+    if (CP.Width == 2)
+      if (Status S = moveColumnTo(CP.ColLeft, CP.SiteX))
+        return S;
+  if (Status S = shuttleRowTo(RowYPos + L.CzLift))
+    return S;
+
+  if (Status S = emitRzzLadderStep(Pairs, Thetas))
+    return S;
+
+  // Separate the 2-literal pairs again.
+  for (const ClausePlan &CP : Plan.Clauses)
+    if (CP.Width == 2)
+      if (Status S =
+              moveColumnTo(CP.ColLeft, CP.SiteX - 2 * L.TriangleHalfWidth))
+        return S;
+  return Status::success();
+}
+
+Status Emitter::emitCompressedGates(const ColorPlan &Plan, int Color) {
+  const Layout &L = Ctx.Options.Geometry;
+  double Gamma = Ctx.Options.Qaoa.Gamma;
+
+  if (Status S = emitPolarityConjugation(Plan))
+    return S;
+
+  bool AnyTriple = false;
+  for (const ClausePlan &CP : Plan.Clauses)
+    AnyTriple |= CP.Width == 3;
+
+  if (AnyTriple) {
+    if (Status S = shuttleRowTo(L.gateRowY(Color)))
+      return S;
+    // Drop targets into their zone SLM traps, forming the triangles.
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        if (Status S = transferSite(CP))
+          return S;
+    // H(target), then the CCZ sandwich with RX(g/2) in the middle.
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        if (Status S = ramanGate(CP.Target, GateKind::H))
+          return S;
+    if (Status S = pulse(Annotation::rydberg()))
+      return S;
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        stmt(Gate(GateKind::CCZ, {CP.Left, CP.Target, CP.Right}));
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        if (Status S = ramanGate(CP.Target, GateKind::RX, Gamma / 2))
+          return S;
+    if (Status S = pulse(Annotation::rydberg()))
+      return S;
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        stmt(Gate(GateKind::CCZ, {CP.Left, CP.Target, CP.Right}));
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        if (Status S = ramanGate(CP.Target, GateKind::H))
+          return S;
+  }
+
+  // Control-pair ladders (and complete 2-literal clauses) with the row
+  // lifted so targets stay out of the blockade radius.
+  if (Status S = emitPairPhase(Plan))
+    return S;
+
+  // Single-qubit residues.
+  for (const ClausePlan &CP : Plan.Clauses) {
+    switch (CP.Width) {
+    case 1:
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma))
+        return S;
+      break;
+    case 2:
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 2))
+        return S;
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 2))
+        return S;
+      break;
+    case 3:
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 4))
+        return S;
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 4))
+        return S;
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma / 2))
+        return S;
+      break;
+    }
+  }
+
+  // Retrieve targets back onto the row.
+  if (AnyTriple) {
+    if (Status S = shuttleRowTo(L.gateRowY(Color)))
+      return S;
+    for (const ClausePlan &CP : Plan.Clauses)
+      if (CP.Width == 3)
+        if (Status S = transferSite(CP))
+          return S;
+  }
+
+  return emitPolarityConjugation(Plan);
+}
+
+/// Uncompressed lowering (§5.4 fallback / ablation): each 3-literal clause
+/// is a pure CZ-ladder network. The three ZZ pair terms execute in the
+/// configurations LT (right control shifted away), RT (left control
+/// shifted away) and LR (row lifted); the cubic term is a CX ladder across
+/// configurations LT-RT-LT.
+Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
+  const Layout &L = Ctx.Options.Geometry;
+  double Gamma = Ctx.Options.Qaoa.Gamma;
+
+  if (Status S = emitPolarityConjugation(Plan))
+    return S;
+
+  std::vector<const ClausePlan *> Triples;
+  for (const ClausePlan &CP : Plan.Clauses)
+    if (CP.Width == 3)
+      Triples.push_back(&CP);
+
+  auto ShiftRight = [&](bool Away) {
+    for (const ClausePlan *CP : Triples)
+      if (Status S = moveColumnTo(CP->ColRight,
+                                  CP->SiteX + L.TriangleHalfWidth +
+                                      (Away ? L.PairShift : 0.0)))
+        return S;
+    return Status::success();
+  };
+  auto ShiftLeft = [&](bool Away) {
+    for (const ClausePlan *CP : Triples)
+      if (Status S = moveColumnTo(CP->ColLeft,
+                                  CP->SiteX - L.TriangleHalfWidth -
+                                      (Away ? L.PairShift : 0.0)))
+        return S;
+    return Status::success();
+  };
+
+  if (!Triples.empty()) {
+    if (Status S = shuttleRowTo(L.gateRowY(Color)))
+      return S;
+    for (const ClausePlan *CP : Triples)
+      if (Status S = transferSite(*CP))
+        return S;
+
+    std::vector<std::pair<int, int>> Pairs;
+    std::vector<double> Thetas;
+
+    // Config LT: (Left, Target) pairs interact; Right shifted away.
+    if (Status S = ShiftRight(/*Away=*/true))
+      return S;
+    Pairs.clear();
+    Thetas.clear();
+    for (const ClausePlan *CP : Triples) {
+      Pairs.push_back({CP->Left, CP->Target});
+      Thetas.push_back(Gamma / 4);
+    }
+    if (Status S = emitRzzLadderStep(Pairs, Thetas))
+      return S;
+
+    // Config RT: (Target, Right) pairs; Left shifted away.
+    if (Status S = ShiftRight(/*Away=*/false))
+      return S;
+    if (Status S = ShiftLeft(/*Away=*/true))
+      return S;
+    Pairs.clear();
+    Thetas.clear();
+    for (const ClausePlan *CP : Triples) {
+      Pairs.push_back({CP->Target, CP->Right});
+      Thetas.push_back(Gamma / 4);
+    }
+    if (Status S = emitRzzLadderStep(Pairs, Thetas))
+      return S;
+    if (Status S = ShiftLeft(/*Away=*/false))
+      return S;
+  }
+
+  // Config LR via the shared pair phase (also completes 2-literal
+  // clauses); leaves the row lifted, so bring it back for the cubic part.
+  if (Status S = emitPairPhase(Plan))
+    return S;
+
+  if (!Triples.empty()) {
+    if (Status S = shuttleRowTo(L.gateRowY(Color)))
+      return S;
+
+    // Cubic CX ladder: CX(L,T) CX(T,R) RZ(R) CX(T,R) CX(L,T).
+    std::vector<std::pair<int, int>> CxLT, CxTR;
+    for (const ClausePlan *CP : Triples) {
+      CxLT.push_back({CP->Left, CP->Target});
+      CxTR.push_back({CP->Target, CP->Right});
+    }
+    if (Status S = ShiftRight(/*Away=*/true))
+      return S;
+    if (Status S = emitCxStep(CxLT))
+      return S;
+    if (Status S = ShiftRight(/*Away=*/false))
+      return S;
+    if (Status S = ShiftLeft(/*Away=*/true))
+      return S;
+    if (Status S = emitCxStep(CxTR))
+      return S;
+    for (const ClausePlan *CP : Triples)
+      if (Status S = ramanGate(CP->Right, GateKind::RZ, -Gamma / 4))
+        return S;
+    if (Status S = emitCxStep(CxTR))
+      return S;
+    if (Status S = ShiftLeft(/*Away=*/false))
+      return S;
+    if (Status S = ShiftRight(/*Away=*/true))
+      return S;
+    if (Status S = emitCxStep(CxLT))
+      return S;
+    if (Status S = ShiftRight(/*Away=*/false))
+      return S;
+  }
+
+  // Single-qubit terms: ladder form uses -g/4 on all three qubits.
+  for (const ClausePlan &CP : Plan.Clauses) {
+    switch (CP.Width) {
+    case 1:
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma))
+        return S;
+      break;
+    case 2:
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 2))
+        return S;
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 2))
+        return S;
+      break;
+    case 3:
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 4))
+        return S;
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma / 4))
+        return S;
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 4))
+        return S;
+      break;
+    }
+  }
+
+  // Retrieve targets back onto the row.
+  if (!Triples.empty()) {
+    if (Status S = shuttleRowTo(L.gateRowY(Color)))
+      return S;
+    for (const ClausePlan *CP : Triples)
+      if (Status S = transferSite(*CP))
+        return S;
+  }
+
+  return emitPolarityConjugation(Plan);
+}
+
+Status Emitter::emitColor(int Color, const BoundarySchedule &Boundary) {
+  ColorPlan &Plan = Ctx.Plans[Color];
+  if (Status S = emitColorBoundary(Plan, Boundary))
+    return S;
+  if (Ctx.Options.UseCompression)
+    return emitCompressedGates(Plan, Color);
+  return emitLadderGates(Plan, Color);
+}
+
+Status Emitter::run() {
+  Program.NumQubits = Formula.numVariables();
+  Program.NumBits = Ctx.Options.Measure ? Formula.numVariables() : 0;
+  if (Status S = emitSetup())
+    return S;
+  if (Status S = globalRaman(GateKind::H))
+    return S;
+  size_t BoundaryIdx = 0;
+  for (int Layer = 0; Layer < Ctx.Options.Qaoa.Layers; ++Layer) {
+    for (int Color = 0; Color < Ctx.Coloring.numColors(); ++Color)
+      if (Status S = emitColor(Color, Ctx.Boundaries[BoundaryIdx++]))
+        return S;
+    if (Status S = globalRaman(GateKind::RX, 2 * Ctx.Options.Qaoa.Beta))
+      return S;
+  }
+  // Park every atom back in its home trap so the program ends in the same
+  // configuration it started from (and measurement happens in the SLM).
+  if (Status S = emitFinalUnload())
+    return S;
+  if (Ctx.Options.Measure)
+    for (int Q = 0; Q < Formula.numVariables(); ++Q)
+      stmt(Gate(GateKind::Measure, {Q}));
+  Program.TrailingAnnotations = std::move(Pending);
+  Ctx.Program = std::move(Program);
+  return Status::success();
+}
+
+} // namespace
+
+Status GateLoweringPass::run(CompilationContext &Ctx) {
+  if (Ctx.Boundaries.size() != static_cast<size_t>(Ctx.Options.Qaoa.Layers) *
+                                   Ctx.Coloring.numColors())
+    return Status::error("shuttle schedule does not cover the execution "
+                         "order; run ShuttleSchedulingPass first");
+  Emitter E(Ctx);
+  return E.run();
+}

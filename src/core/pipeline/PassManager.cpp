@@ -1,0 +1,56 @@
+//===- core/pipeline/PassManager.cpp - Pass sequencing --------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/pipeline/PassManager.h"
+
+#include "core/pipeline/ClauseColoringPass.h"
+#include "core/pipeline/GateLoweringPass.h"
+#include "core/pipeline/PulseEmissionPass.h"
+#include "core/pipeline/ShuttleSchedulingPass.h"
+#include "core/pipeline/ZonePlanningPass.h"
+
+#include <chrono>
+
+using namespace weaver;
+using namespace weaver::core;
+using namespace weaver::core::pipeline;
+
+PassManager &PassManager::addPass(std::unique_ptr<Pass> P) {
+  Passes.push_back(std::move(P));
+  return *this;
+}
+
+Status PassManager::run(CompilationContext &Ctx) const {
+  for (const std::unique_ptr<Pass> &P : Passes) {
+    auto Start = std::chrono::steady_clock::now();
+    Status S = P->run(Ctx);
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    Ctx.Timings.push_back({P->name(), Seconds});
+    if (S)
+      return Status::error(std::string(P->name()) + ": " + S.message());
+  }
+  return Status::success();
+}
+
+PassManager PassManager::standardFpqaPipeline() {
+  PassManager PM;
+  PM.add<ClauseColoringPass>()
+      .add<ZonePlanningPass>()
+      .add<ShuttleSchedulingPass>()
+      .add<GateLoweringPass>()
+      .add<PulseEmissionPass>();
+  return PM;
+}
+
+PassManager PassManager::codegenPipeline() {
+  PassManager PM;
+  PM.add<ZonePlanningPass>()
+      .add<ShuttleSchedulingPass>()
+      .add<GateLoweringPass>();
+  return PM;
+}

@@ -1,0 +1,63 @@
+//===- core/pipeline/PassManager.h - Pass sequencing -----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an ordered list of passes over one CompilationContext, recording a
+/// wall-clock timing entry per pass and stopping at the first failure with
+/// the failing pass named in the diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_PIPELINE_PASSMANAGER_H
+#define WEAVER_CORE_PIPELINE_PASSMANAGER_H
+
+#include "core/pipeline/Pass.h"
+
+#include <memory>
+#include <vector>
+
+namespace weaver {
+namespace core {
+namespace pipeline {
+
+/// Sequences passes over a compilation context.
+class PassManager {
+public:
+  /// Appends \p P to the pipeline; returns *this for chaining.
+  PassManager &addPass(std::unique_ptr<Pass> P);
+
+  /// Convenience: constructs and appends a pass in place.
+  template <typename PassT, typename... ArgTs>
+  PassManager &add(ArgTs &&...Args) {
+    return addPass(std::make_unique<PassT>(std::forward<ArgTs>(Args)...));
+  }
+
+  /// Number of registered passes.
+  size_t size() const { return Passes.size(); }
+
+  /// Runs every pass in order. Each pass appends a PassTiming to
+  /// Ctx.Timings (also for the failing pass). The first failure aborts the
+  /// pipeline with the pass name prefixed to the diagnostic.
+  Status run(CompilationContext &Ctx) const;
+
+  /// Builds the standard FPQA pipeline of the paper's Fig. 3:
+  /// ClauseColoring -> ZonePlanning -> ShuttleScheduling -> GateLowering
+  /// -> PulseEmission.
+  static PassManager standardFpqaPipeline();
+
+  /// Builds the codegen-only tail used by generateFpqaProgram: the caller
+  /// supplies the colouring and no pulse replay is wanted.
+  static PassManager codegenPipeline();
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+} // namespace pipeline
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_PIPELINE_PASSMANAGER_H

@@ -1,0 +1,27 @@
+//===- core/pipeline/PulseEmissionPass.cpp - Pulse stream + stats ---------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/pipeline/PulseEmissionPass.h"
+
+using namespace weaver;
+using namespace weaver::core;
+using namespace weaver::core::pipeline;
+
+Status PulseEmissionPass::run(CompilationContext &Ctx) {
+  Ctx.PulseStream.clear();
+  for (const qasm::GateStatement &S : Ctx.Program.Statements)
+    for (const qasm::Annotation &A : S.Annotations)
+      Ctx.PulseStream.push_back(A);
+  for (const qasm::Annotation &A : Ctx.Program.TrailingAnnotations)
+    Ctx.PulseStream.push_back(A);
+
+  auto Stats = fpqa::analyzePulseProgram(Ctx.PulseStream, Ctx.Hw);
+  if (!Stats)
+    return Stats.status();
+  Ctx.Stats = *Stats;
+  Ctx.HasStats = true;
+  return Status::success();
+}

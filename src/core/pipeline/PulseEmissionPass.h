@@ -1,0 +1,35 @@
+//===- core/pipeline/PulseEmissionPass.h - Pulse stream + stats *- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline stage 5: flattens the annotated program into the executable
+/// pulse stream and replays it on a fresh device model to derive the
+/// paper's evaluation metrics (pulse counts, execution time, EPS — §8).
+/// The replay re-validates every Table 1 pre-condition end to end, so a
+/// program that survives this pass is executable by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_PIPELINE_PULSEEMISSIONPASS_H
+#define WEAVER_CORE_PIPELINE_PULSEEMISSIONPASS_H
+
+#include "core/pipeline/Pass.h"
+
+namespace weaver {
+namespace core {
+namespace pipeline {
+
+class PulseEmissionPass : public Pass {
+public:
+  const char *name() const override { return "pulse-emission"; }
+  Status run(CompilationContext &Ctx) override;
+};
+
+} // namespace pipeline
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_PIPELINE_PULSEEMISSIONPASS_H

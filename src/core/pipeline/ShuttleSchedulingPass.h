@@ -1,0 +1,38 @@
+//===- core/pipeline/ShuttleSchedulingPass.h - Shuttle planning *- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline stage 3 (paper §5.3, Algorithm 2): plans the colour-shuttling
+/// traffic. For every (layer, colour) boundary it decides — by simulating
+/// the AOD row occupancy across the whole execution — which row atoms the
+/// next colour can keep in their columns (the ReuseAodAtoms saving), which
+/// must return home, which home atoms load onto which columns, and where
+/// every column finally parks. The output is a list of BoundarySchedules
+/// plus the final unload set; GateLoweringPass turns them into shuttle and
+/// transfer pulses without taking any further decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_PIPELINE_SHUTTLESCHEDULINGPASS_H
+#define WEAVER_CORE_PIPELINE_SHUTTLESCHEDULINGPASS_H
+
+#include "core/pipeline/Pass.h"
+
+namespace weaver {
+namespace core {
+namespace pipeline {
+
+class ShuttleSchedulingPass : public Pass {
+public:
+  const char *name() const override { return "shuttle-scheduling"; }
+  Status run(CompilationContext &Ctx) override;
+};
+
+} // namespace pipeline
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_PIPELINE_SHUTTLESCHEDULINGPASS_H
