@@ -30,11 +30,20 @@
 #include "support/Table.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace weaver {
 namespace bench {
+
+/// Paper-style tables print by default; WEAVER_BENCH_TABLES=0 skips them
+/// so smoke runs (the bench-smoke ctest label) exercise only the
+/// registered google-benchmark counters and finish in seconds.
+inline bool tablesEnabled() {
+  const char *Env = std::getenv("WEAVER_BENCH_TABLES");
+  return !Env || std::string(Env) != "0";
+}
 
 /// Which compilers a bench run includes.
 struct SuiteConfig {

@@ -67,7 +67,8 @@ BENCHMARK(BM_FirstFit);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled())
+    printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

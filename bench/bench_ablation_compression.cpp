@@ -86,7 +86,8 @@ BENCHMARK(BM_CompressionOff);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled())
+    printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

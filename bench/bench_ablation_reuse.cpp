@@ -73,7 +73,8 @@ BENCHMARK(BM_ReuseOff);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled())
+    printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -78,7 +78,8 @@ BENCHMARK(BM_BatchCompile)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled())
+    printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 using namespace weaver;
 using namespace weaver::bench;
 
@@ -52,6 +54,38 @@ void printTable() {
               InstancesPerSize, T.render().c_str());
 }
 
+/// Attributes Weaver's compile-time growth to the pipeline stages
+/// (ROADMAP "Pass-level diagnostics"): per size, the mean wall-clock
+/// share of each pass. The pulse-emission replay is listed separately
+/// because it derives metrics and does not count as compile time.
+void printPassBreakdown() {
+  Table T({"variables", "coloring [ms]", "zone-plan [ms]", "shuttle [ms]",
+           "lowering [ms]", "replay [ms]"});
+  for (int N : sat::SatlibSizes) {
+    std::map<std::string, double> Sum;
+    int Usable = 0;
+    for (int I = 1; I <= InstancesPerSize; ++I) {
+      auto R = core::compileWeaver(sat::satlibInstance(N, I));
+      if (!R)
+        continue;
+      ++Usable;
+      for (const core::pipeline::PassTiming &P : R->PassTimings)
+        Sum[P.PassName] += P.Seconds * 1e3;
+    }
+    std::map<std::string, double> Mean;
+    for (const auto &[Pass, Total] : Sum)
+      Mean[Pass] = Total / std::max(Usable, 1);
+    T.addRow({std::to_string(N), formatf("%.3f", Mean["clause-coloring"]),
+              formatf("%.3f", Mean["zone-planning"]),
+              formatf("%.3f", Mean["shuttle-scheduling"]),
+              formatf("%.3f", Mean["gate-lowering"]),
+              formatf("%.3f", Mean["pulse-emission"])});
+  }
+  std::printf("== Weaver per-pass compile-time breakdown (mean of %d "
+              "instances) ==\n%s\n",
+              InstancesPerSize, T.render().c_str());
+}
+
 void BM_WeaverCompile(benchmark::State &State) {
   sat::CnfFormula F =
       sat::satlibInstance(static_cast<int>(State.range(0)), 1);
@@ -68,7 +102,10 @@ BENCHMARK(BM_WeaverCompile)->Arg(20)->Arg(50)->Arg(100)->Arg(250)
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled()) {
+    printTable();
+    printPassBreakdown();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

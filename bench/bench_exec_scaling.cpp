@@ -62,7 +62,8 @@ BENCHMARK(BM_WeaverExecutionEstimate)->Arg(20)->Arg(100);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled())
+    printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -64,7 +64,8 @@ BENCHMARK(BM_WeaverPulseAnalysis);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable();
+  if (weaver::bench::tablesEnabled())
+    printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -106,6 +106,13 @@ public:
     return ParamStorage[I];
   }
 
+  /// Overwrites the \p I-th angle parameter (program-template angle
+  /// substitution; see core::pipeline::AngleSlot).
+  void setParam(unsigned I, double Value) {
+    assert(I < numParams() && "parameter index out of range");
+    ParamStorage[I] = Value;
+  }
+
   /// Returns true if the gate acts on qubit \p Q.
   bool actsOn(int Q) const {
     for (unsigned I = 0, E = numQubits(); I < E; ++I)

@@ -12,6 +12,13 @@
 /// building block for sweep drivers and the planned compilation service
 /// (ROADMAP "Open items").
 ///
+/// Sweeps that recompile the same formulas under varying QAOA parameters
+/// should construct their WeaverBackend with a WeaverOptions::Cache: the
+/// PassCache is mutex-guarded, so one cache is safely shared by every
+/// worker of the pool, and results remain byte-identical to the uncached
+/// batch regardless of which worker populates an entry first (see
+/// tests/pass_cache_test.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEAVER_CORE_BATCHCOMPILER_H

@@ -7,35 +7,35 @@
 #include "core/ClauseColoring.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 using namespace weaver;
 using namespace weaver::core;
 using sat::CnfFormula;
+using sat::Literal;
 
 namespace {
 
-/// Builds the clause conflict adjacency lists: an edge joins clauses that
-/// share at least one variable (Algorithm 1's adjacency matrix, kept sparse
-/// via per-variable occurrence lists so construction is near-linear).
-std::vector<std::vector<size_t>> buildConflictGraph(const CnfFormula &F) {
-  std::vector<std::vector<size_t>> VarOccurrences(F.numVariables() + 1);
+/// Per-variable lists of the clauses mentioning the variable, ascending,
+/// with each clause listed at most once per variable (a clause repeating a
+/// variable contributes one entry). Shared substrate of the conflict
+/// graph, the colouring validator, and both colouring heuristics.
+std::vector<std::vector<size_t>> buildOccurrenceLists(const CnfFormula &F) {
+  int MaxVar = F.numVariables();
+  for (const sat::Clause &C : F.clauses())
+    for (Literal L : C)
+      MaxVar = std::max(MaxVar, L.variable());
+  std::vector<std::vector<size_t>> Occ(MaxVar + 1);
   for (size_t I = 0; I < F.numClauses(); ++I)
-    for (sat::Literal L : F.clause(I))
-      VarOccurrences[L.variable()].push_back(I);
-
-  std::vector<std::set<size_t>> AdjSets(F.numClauses());
-  for (const auto &Occ : VarOccurrences)
-    for (size_t I = 0; I < Occ.size(); ++I)
-      for (size_t J = I + 1; J < Occ.size(); ++J) {
-        AdjSets[Occ[I]].insert(Occ[J]);
-        AdjSets[Occ[J]].insert(Occ[I]);
-      }
-
-  std::vector<std::vector<size_t>> Adj(F.numClauses());
-  for (size_t I = 0; I < F.numClauses(); ++I)
-    Adj[I].assign(AdjSets[I].begin(), AdjSets[I].end());
-  return Adj;
+    for (Literal L : F.clause(I)) {
+      std::vector<size_t> &List = Occ[L.variable()];
+      // Clause indices arrive in ascending order, so within-clause
+      // duplicates (a clause repeating a variable) are always adjacent.
+      if (List.empty() || List.back() != I)
+        List.push_back(I);
+    }
+  return Occ;
 }
 
 ClauseColoring finalize(std::vector<int> ColorOf) {
@@ -50,63 +50,136 @@ ClauseColoring finalize(std::vector<int> ColorOf) {
   return R;
 }
 
+/// Marks \p Color in the bitset; returns true when it was already set.
+bool markColor(std::vector<uint64_t> &Words, int Color) {
+  size_t W = static_cast<size_t>(Color) / 64;
+  uint64_t Bit = 1ull << (Color % 64);
+  if (W >= Words.size())
+    Words.resize(W + 1, 0);
+  if (Words[W] & Bit)
+    return true;
+  Words[W] |= Bit;
+  return false;
+}
+
+/// Smallest colour index absent from the bitset.
+int firstAbsentColor(const std::vector<uint64_t> &Words) {
+  for (size_t W = 0; W < Words.size(); ++W)
+    if (~Words[W])
+      return static_cast<int>(W * 64 + __builtin_ctzll(~Words[W]));
+  return static_cast<int>(Words.size() * 64);
+}
+
 } // namespace
+
+std::vector<std::vector<size_t>>
+core::buildClauseConflictGraph(const CnfFormula &F) {
+  std::vector<std::vector<size_t>> Occ = buildOccurrenceLists(F);
+  size_t N = F.numClauses();
+  std::vector<std::vector<size_t>> Adj(N);
+  std::vector<size_t> Gather;
+  for (size_t I = 0; I < N; ++I) {
+    Gather.clear();
+    bool RepeatsVariable = false;
+    const sat::Clause &C = F.clause(I);
+    for (size_t A = 0; A < C.size(); ++A) {
+      for (size_t B = 0; B < A; ++B)
+        RepeatsVariable |= C[A].variable() == C[B].variable();
+      const std::vector<size_t> &List = Occ[C[A].variable()];
+      Gather.insert(Gather.end(), List.begin(), List.end());
+    }
+    std::sort(Gather.begin(), Gather.end());
+    Gather.erase(std::unique(Gather.begin(), Gather.end()), Gather.end());
+    // A clause conflicts with itself only when it repeats a variable (the
+    // dense adjacency matrix of Algorithm 1 has that self-loop; it is
+    // harmless to both heuristics but contributes to the degree
+    // tie-break, so it is preserved).
+    if (!RepeatsVariable) {
+      auto Self = std::lower_bound(Gather.begin(), Gather.end(), I);
+      if (Self != Gather.end() && *Self == I)
+        Gather.erase(Self);
+    }
+    Adj[I] = Gather;
+  }
+  return Adj;
+}
 
 bool ClauseColoring::isValid(const CnfFormula &Formula) const {
   if (ColorOf.size() != Formula.numClauses())
     return false;
-  for (size_t I = 0; I < Formula.numClauses(); ++I)
-    for (size_t J = I + 1; J < Formula.numClauses(); ++J)
-      if (ColorOf[I] == ColorOf[J] &&
-          Formula.clause(I).sharesVariableWith(Formula.clause(J)))
-        return false;
+  // Two clauses conflict iff they appear together in some variable's
+  // occurrence list, so a colouring is valid iff no list repeats a colour.
+  std::vector<std::vector<size_t>> Occ = buildOccurrenceLists(Formula);
+  std::vector<int> Colors;
+  for (const std::vector<size_t> &Clauses : Occ) {
+    if (Clauses.size() < 2)
+      continue;
+    Colors.clear();
+    for (size_t I : Clauses)
+      Colors.push_back(ColorOf[I]);
+    std::sort(Colors.begin(), Colors.end());
+    if (std::adjacent_find(Colors.begin(), Colors.end()) != Colors.end())
+      return false;
+  }
   return true;
 }
 
 ClauseColoring core::colorClausesDSatur(const CnfFormula &Formula) {
   size_t N = Formula.numClauses();
-  std::vector<std::vector<size_t>> Adj = buildConflictGraph(Formula);
+  std::vector<std::vector<size_t>> Adj = buildClauseConflictGraph(Formula);
   std::vector<int> ColorOf(N, -1);
-  std::vector<std::set<int>> NeighbourColors(N);
-  std::vector<size_t> Degree(N);
-  for (size_t I = 0; I < N; ++I)
-    Degree[I] = Adj[I].size();
+  std::vector<int> Saturation(N, 0);
+  std::vector<std::vector<uint64_t>> NeighbourColors(N);
 
+  // Buckets[s] holds every uncoloured vertex of saturation s, keyed so the
+  // bucket minimum is the DSatur pick at that level: degree descending,
+  // then index ascending — the exact tie-break of the former linear scan.
+  auto KeyOf = [N, &Adj](size_t I) {
+    return (static_cast<uint64_t>(N - Adj[I].size()) << 32) | I;
+  };
+  std::vector<std::set<uint64_t>> Buckets(1);
+  for (size_t I = 0; I < N; ++I)
+    Buckets[0].insert(KeyOf(I));
+
+  int MaxSat = 0;
   for (size_t Step = 0; Step < N; ++Step) {
-    // Pick the uncoloured vertex with maximum saturation (number of
-    // distinct neighbour colours), breaking ties by degree then index.
-    size_t Best = N;
-    for (size_t I = 0; I < N; ++I) {
-      if (ColorOf[I] != -1)
-        continue;
-      if (Best == N ||
-          NeighbourColors[I].size() > NeighbourColors[Best].size() ||
-          (NeighbourColors[I].size() == NeighbourColors[Best].size() &&
-           Degree[I] > Degree[Best]))
-        Best = I;
-    }
-    // Smallest colour absent from the neighbourhood.
-    int Color = 0;
-    while (NeighbourColors[Best].count(Color))
-      ++Color;
+    while (Buckets[MaxSat].empty())
+      --MaxSat;
+    auto BestIt = Buckets[MaxSat].begin();
+    size_t Best = *BestIt & 0xffffffffu;
+    Buckets[MaxSat].erase(BestIt);
+
+    int Color = firstAbsentColor(NeighbourColors[Best]);
     ColorOf[Best] = Color;
-    for (size_t Nb : Adj[Best])
-      NeighbourColors[Nb].insert(Color);
+    for (size_t Nb : Adj[Best]) {
+      if (ColorOf[Nb] != -1)
+        continue;
+      if (markColor(NeighbourColors[Nb], Color))
+        continue; // colour already counted towards Nb's saturation
+      Buckets[Saturation[Nb]].erase(KeyOf(Nb));
+      ++Saturation[Nb];
+      if (static_cast<size_t>(Saturation[Nb]) >= Buckets.size())
+        Buckets.resize(Saturation[Nb] + 1);
+      Buckets[Saturation[Nb]].insert(KeyOf(Nb));
+      MaxSat = std::max(MaxSat, Saturation[Nb]);
+    }
   }
   return finalize(std::move(ColorOf));
 }
 
 ClauseColoring core::colorClausesFirstFit(const CnfFormula &Formula) {
   size_t N = Formula.numClauses();
-  std::vector<std::vector<size_t>> Adj = buildConflictGraph(Formula);
+  std::vector<std::vector<size_t>> Adj = buildClauseConflictGraph(Formula);
   std::vector<int> ColorOf(N, -1);
+  // LastUser[c] == I marks colour c as taken by a neighbour of clause I;
+  // stale stamps from earlier clauses need no clearing.
+  std::vector<size_t> LastUser(N + 1, SIZE_MAX);
   for (size_t I = 0; I < N; ++I) {
-    std::set<int> Used;
     for (size_t Nb : Adj[I])
       if (ColorOf[Nb] != -1)
-        Used.insert(ColorOf[Nb]);
+        LastUser[ColorOf[Nb]] = I;
     int Color = 0;
-    while (Used.count(Color))
+    while (LastUser[Color] == I)
       ++Color;
     ColorOf[I] = Color;
   }

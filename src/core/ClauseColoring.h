@@ -9,7 +9,15 @@
 /// clauses sharing a variable conflict; colouring the conflict graph with
 /// DSatur [Brélaz 1979] partitions the formula into groups of
 /// variable-disjoint clauses whose cost-Hamiltonian fragments execute in
-/// parallel under global FPQA pulses. Complexity O(N^2) (§5.5).
+/// parallel under global FPQA pulses.
+///
+/// The paper bounds the pass at O(N^2) (§5.5); this implementation is
+/// O((N + E) log N) over the E conflict edges: the graph is built from
+/// per-variable occurrence lists (sort/unique per clause neighbourhood)
+/// and vertex selection uses saturation buckets with per-vertex colour
+/// bitsets instead of a linear scan per step. The selection order — and
+/// therefore every colouring — is identical to the quadratic reference:
+/// maximum saturation, then maximum degree, then smallest clause index.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +43,14 @@ struct ClauseColoring {
   /// Verifies that no two same-coloured clauses share a variable.
   bool isValid(const sat::CnfFormula &Formula) const;
 };
+
+/// Builds the clause conflict adjacency lists: Adj[i] holds, ascending,
+/// every clause sharing at least one variable with clause i (Algorithm 1's
+/// adjacency matrix, kept sparse via per-variable occurrence lists). A
+/// clause repeating a variable carries a self-loop, matching the dense
+/// formulation. Shared by both colouring heuristics and the validator.
+std::vector<std::vector<size_t>>
+buildClauseConflictGraph(const sat::CnfFormula &Formula);
 
 /// Colours \p Formula with the DSatur heuristic.
 ClauseColoring colorClausesDSatur(const sat::CnfFormula &Formula);

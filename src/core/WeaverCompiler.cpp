@@ -34,6 +34,7 @@ Expected<WeaverResult> core::compileWeaver(const sat::CnfFormula &Formula,
   Ctx.Formula = &Formula;
   Ctx.Hw = Options.Hw;
   Ctx.UseDSatur = Options.UseDSatur;
+  Ctx.Cache = Options.Cache;
   Ctx.Options.Geometry = Options.Geometry;
   Ctx.Options.Qaoa = Options.Qaoa;
   Ctx.Options.UseCompression = Result.CompressionUsed;
@@ -52,6 +53,8 @@ Expected<WeaverResult> core::compileWeaver(const sat::CnfFormula &Formula,
   // implementation, it does not count as compile time.
   Result.CompileSeconds = Ctx.elapsedSeconds("pulse-emission");
   Result.PassTimings = std::move(Ctx.Timings);
+  Result.FrontHalfFromCache = Ctx.FrontHalfFromCache;
+  Result.ProgramFromCache = Ctx.ProgramFromCache;
 
   if (Options.RunChecker) {
     // Reference: the hardware-agnostic (uncompressed ladder) circuit.

@@ -48,6 +48,14 @@ struct WeaverOptions {
   /// is small enough and a reference circuit is requested).
   bool RunChecker = false;
   CheckOptions Checker;
+
+  /// Optional pass-result memoisation shared across compilations (not
+  /// owned; must outlive every compile using it). Parameter sweeps over
+  /// the same formula reuse the colouring/zone plan and, across
+  /// gamma/beta points, the whole program template — output stays byte
+  /// identical with the cache on or off. Safe to share between threads
+  /// (the cache is internally mutex-guarded); see pipeline/PassCache.h.
+  pipeline::PassCache *Cache = nullptr;
 };
 
 /// Everything the pipeline produces.
@@ -60,6 +68,10 @@ struct WeaverResult {
   /// Per-pass wall-clock breakdown of the pipeline run (diagnostics; the
   /// pulse-emission replay is excluded from CompileSeconds).
   std::vector<pipeline::PassTiming> PassTimings;
+  /// Cache diagnostics: whether the colouring/zone plan, respectively the
+  /// whole program template, were restored instead of recomputed.
+  bool FrontHalfFromCache = false;
+  bool ProgramFromCache = false;
   std::optional<CheckReport> Check; ///< present when RunChecker was set
 };
 

@@ -25,6 +25,7 @@
 #include "qasm/Program.h"
 #include "sat/Cnf.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -83,6 +84,28 @@ struct PassTiming {
   double Seconds = 0;
 };
 
+/// One parameterised angle inside the emitted program: the double at the
+/// recorded position equals Coeff * (Gamma or Beta). Every coefficient the
+/// emitter uses is an exact power of two (±1/4, ±1/2, ±1, 2), so
+/// substituting a different parameter value reproduces the directly
+/// computed double bit for bit — the property the program-template cache
+/// relies on for byte-identical output.
+struct AngleSlot {
+  enum class Param : uint8_t { Gamma, Beta };
+  enum class Field : uint8_t {
+    GateParam0,  ///< Statements[Statement].Gate parameter 0
+    AnnotationX, ///< Statements[Statement].Annotations[Annotation].AngleX
+    AnnotationZ, ///< Statements[Statement].Annotations[Annotation].AngleZ
+  };
+  uint32_t Statement = 0;
+  uint32_t Annotation = 0; ///< meaningful unless Field == GateParam0
+  Field Where = Field::GateParam0;
+  Param Dep = Param::Gamma;
+  double Coeff = 0;
+};
+
+class PassCache;
+
 /// All state shared between the pipeline passes. Inputs are set by the
 /// driver before PassManager::run; each pass fills its output section.
 struct CompilationContext {
@@ -93,6 +116,10 @@ struct CompilationContext {
   /// Colouring heuristic selection when the pipeline colours the formula
   /// itself (ClauseColoringPass); ignored when HasColoring is set.
   bool UseDSatur = true;
+  /// Optional memoisation of pass results across compilations sharing the
+  /// same formula/geometry (parameter sweeps). Not owned; must outlive the
+  /// pipeline run. Ignored when the driver supplied a colouring.
+  PassCache *Cache = nullptr;
 
   // --- ClauseColoringPass -----------------------------------------------
   ClauseColoring Coloring;
@@ -113,6 +140,10 @@ struct CompilationContext {
 
   // --- GateLoweringPass -------------------------------------------------
   qasm::WqasmProgram Program;
+  /// When set (by PassManager while building a cache entry), the emitter
+  /// records where every gamma/beta-dependent angle lives in Program.
+  bool CollectAngleSlots = false;
+  std::vector<AngleSlot> AngleSlots;
 
   // --- PulseEmissionPass ------------------------------------------------
   std::vector<qasm::Annotation> PulseStream;
@@ -121,6 +152,11 @@ struct CompilationContext {
 
   // --- Diagnostics ------------------------------------------------------
   std::vector<PassTiming> Timings;
+  /// Set when the colouring/zone-planning sections were restored from the
+  /// cache instead of recomputed.
+  bool FrontHalfFromCache = false;
+  /// Set when the whole program was instantiated from a cached template.
+  bool ProgramFromCache = false;
 
   /// Sum of recorded pass durations, excluding \p ExcludedPass (pass an
   /// empty string to sum everything).

@@ -25,6 +25,18 @@ namespace {
 
 constexpr double Pi = 3.14159265358979323846;
 
+/// A rotation angle that is Coeff * (gamma or beta) when Parameterised —
+/// every coefficient the emitter uses is an exact power of two, so the
+/// product is bit-identical to the former inline expressions (Gamma / 4,
+/// -Gamma / 2, 2 * Beta, ...) and can be re-substituted by the
+/// program-template cache (see AngleSlot).
+struct ParamAngle {
+  double Value = 0;
+  double Coeff = 0;
+  AngleSlot::Param Dep = AngleSlot::Param::Gamma;
+  bool Parameterised = false;
+};
+
 /// Executes the planned movement and lowers the clause gates. All
 /// decisions were taken by the planning passes; this class only tracks the
 /// continuous column/row positions needed to emit correct shuttle offsets
@@ -37,13 +49,22 @@ public:
   Status run();
 
 private:
+  ParamAngle gammaAngle(double Coeff) const {
+    return {Coeff * Ctx.Options.Qaoa.Gamma, Coeff, AngleSlot::Param::Gamma,
+            true};
+  }
+  ParamAngle betaAngle(double Coeff) const {
+    return {Coeff * Ctx.Options.Qaoa.Beta, Coeff, AngleSlot::Param::Beta,
+            true};
+  }
+
   // --- Emission primitives ---------------------------------------------
   Status pulse(Annotation A);
   void stmt(const Gate &G);
   /// Emits a local Raman pulse plus the matching logical 1-qubit gate.
-  Status ramanGate(int Qubit, GateKind Kind, double Angle = 0);
+  Status ramanGate(int Qubit, GateKind Kind, ParamAngle Angle = {});
   /// Emits a global Raman pulse plus one logical gate per qubit.
-  Status globalRaman(GateKind Kind, double Angle = 0);
+  Status globalRaman(GateKind Kind, ParamAngle Angle = {});
 
   // --- Movement ----------------------------------------------------------
   Status moveColumnTo(int Column, double X);
@@ -66,7 +87,7 @@ private:
   Status emitPolarityConjugation(const ColorPlan &Plan);
   Status emitPairPhase(const ColorPlan &Plan);
   Status emitRzzLadderStep(const std::vector<std::pair<int, int>> &Pairs,
-                           const std::vector<double> &Thetas);
+                           const std::vector<ParamAngle> &Thetas);
   Status emitCxStep(const std::vector<std::pair<int, int>> &Pairs);
 
   const Clause &clauseOf(const ClausePlan &CP) const {
@@ -82,6 +103,16 @@ private:
 
   qasm::WqasmProgram Program;
   std::vector<Annotation> Pending; ///< annotations awaiting next statement
+
+  /// Parameterised angles inside Pending, resolved to final AngleSlots
+  /// (with the flushing statement's index) by stmt().
+  struct PendingAngle {
+    size_t AnnIdx;
+    AngleSlot::Field Where;
+    double Coeff;
+    AngleSlot::Param Dep;
+  };
+  std::vector<PendingAngle> PendingAngles;
 };
 
 Status Emitter::pulse(Annotation A) {
@@ -93,13 +124,19 @@ Status Emitter::pulse(Annotation A) {
 }
 
 void Emitter::stmt(const Gate &G) {
+  uint32_t StmtIdx = static_cast<uint32_t>(Program.Statements.size());
   Program.Statements.push_back(qasm::GateStatement{G, std::move(Pending)});
   Pending.clear();
+  for (const PendingAngle &P : PendingAngles)
+    Ctx.AngleSlots.push_back({StmtIdx, static_cast<uint32_t>(P.AnnIdx),
+                              P.Where, P.Dep, P.Coeff});
+  PendingAngles.clear();
 }
 
-Status Emitter::ramanGate(int Qubit, GateKind Kind, double Angle) {
+Status Emitter::ramanGate(int Qubit, GateKind Kind, ParamAngle Angle) {
   double X = 0, Y = 0, Z = 0;
   Gate G;
+  AngleSlot::Field AnnField = AngleSlot::Field::AnnotationX;
   switch (Kind) {
   case GateKind::X:
     X = Pi;
@@ -111,44 +148,63 @@ Status Emitter::ramanGate(int Qubit, GateKind Kind, double Angle) {
     G = Gate(GateKind::H, {Qubit});
     break;
   case GateKind::RX:
-    X = Angle;
-    G = Gate(GateKind::RX, {Qubit}, {Angle});
+    X = Angle.Value;
+    G = Gate(GateKind::RX, {Qubit}, {Angle.Value});
     break;
   case GateKind::RZ:
-    Z = Angle;
-    G = Gate(GateKind::RZ, {Qubit}, {Angle});
+    Z = Angle.Value;
+    G = Gate(GateKind::RZ, {Qubit}, {Angle.Value});
+    AnnField = AngleSlot::Field::AnnotationZ;
     break;
   default:
     assert(false && "unsupported Raman gate kind");
   }
+  bool Record = Ctx.CollectAngleSlots && Angle.Parameterised;
+  if (Record)
+    PendingAngles.push_back({Pending.size(), AnnField, Angle.Coeff,
+                             Angle.Dep});
   if (Status S = pulse(Annotation::ramanLocal(Qubit, X, Y, Z)))
     return S;
   stmt(G);
+  if (Record)
+    Ctx.AngleSlots.push_back(
+        {static_cast<uint32_t>(Program.Statements.size() - 1), 0,
+         AngleSlot::Field::GateParam0, Angle.Dep, Angle.Coeff});
   return Status::success();
 }
 
-Status Emitter::globalRaman(GateKind Kind, double Angle) {
+Status Emitter::globalRaman(GateKind Kind, ParamAngle Angle) {
   double X = 0, Y = 0, Z = 0;
+  AngleSlot::Field AnnField = AngleSlot::Field::AnnotationX;
   switch (Kind) {
   case GateKind::H:
     Y = -Pi / 2;
     Z = Pi;
     break;
   case GateKind::RX:
-    X = Angle;
+    X = Angle.Value;
     break;
   case GateKind::RZ:
-    Z = Angle;
+    Z = Angle.Value;
+    AnnField = AngleSlot::Field::AnnotationZ;
     break;
   default:
     assert(false && "unsupported global Raman gate kind");
   }
+  bool Record = Ctx.CollectAngleSlots && Angle.Parameterised;
+  if (Record)
+    PendingAngles.push_back({Pending.size(), AnnField, Angle.Coeff,
+                             Angle.Dep});
   if (Status S = pulse(Annotation::ramanGlobal(X, Y, Z)))
     return S;
   for (int Q = 0; Q < Formula.numVariables(); ++Q) {
     Gate G = Kind == GateKind::H ? Gate(GateKind::H, {Q})
-                                 : Gate(Kind, {Q}, {Angle});
+                                 : Gate(Kind, {Q}, {Angle.Value});
     stmt(G);
+    if (Record)
+      Ctx.AngleSlots.push_back(
+          {static_cast<uint32_t>(Program.Statements.size() - 1), 0,
+           AngleSlot::Field::GateParam0, Angle.Dep, Angle.Coeff});
   }
   return Status::success();
 }
@@ -328,7 +384,7 @@ Status Emitter::emitPolarityConjugation(const ColorPlan &Plan) {
 /// pairs must already be the only atom groups inside the blockade radius.
 Status Emitter::emitRzzLadderStep(
     const std::vector<std::pair<int, int>> &Pairs,
-    const std::vector<double> &Thetas) {
+    const std::vector<ParamAngle> &Thetas) {
   assert(Pairs.size() == Thetas.size() && "one angle per pair");
   if (Pairs.empty())
     return Status::success();
@@ -390,14 +446,13 @@ Status Emitter::emitCxStep(const std::vector<std::pair<int, int>> &Pairs) {
 /// Rydberg pulses. Leaves the row lifted.
 Status Emitter::emitPairPhase(const ColorPlan &Plan) {
   const Layout &L = Ctx.Options.Geometry;
-  double Gamma = Ctx.Options.Qaoa.Gamma;
   std::vector<std::pair<int, int>> Pairs;
-  std::vector<double> Thetas;
+  std::vector<ParamAngle> Thetas;
   for (const ClausePlan &CP : Plan.Clauses) {
     if (CP.Width < 2)
       continue;
     Pairs.push_back({CP.Left, CP.Right});
-    Thetas.push_back(CP.Width == 3 ? Gamma / 4 : Gamma / 2);
+    Thetas.push_back(CP.Width == 3 ? gammaAngle(0.25) : gammaAngle(0.5));
   }
   if (Pairs.empty())
     return Status::success();
@@ -424,7 +479,6 @@ Status Emitter::emitPairPhase(const ColorPlan &Plan) {
 
 Status Emitter::emitCompressedGates(const ColorPlan &Plan, int Color) {
   const Layout &L = Ctx.Options.Geometry;
-  double Gamma = Ctx.Options.Qaoa.Gamma;
 
   if (Status S = emitPolarityConjugation(Plan))
     return S;
@@ -453,7 +507,7 @@ Status Emitter::emitCompressedGates(const ColorPlan &Plan, int Color) {
         stmt(Gate(GateKind::CCZ, {CP.Left, CP.Target, CP.Right}));
     for (const ClausePlan &CP : Plan.Clauses)
       if (CP.Width == 3)
-        if (Status S = ramanGate(CP.Target, GateKind::RX, Gamma / 2))
+        if (Status S = ramanGate(CP.Target, GateKind::RX, gammaAngle(0.5)))
           return S;
     if (Status S = pulse(Annotation::rydberg()))
       return S;
@@ -475,21 +529,21 @@ Status Emitter::emitCompressedGates(const ColorPlan &Plan, int Color) {
   for (const ClausePlan &CP : Plan.Clauses) {
     switch (CP.Width) {
     case 1:
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma))
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, gammaAngle(-1.0)))
         return S;
       break;
     case 2:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 2))
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, gammaAngle(-0.5)))
         return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 2))
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, gammaAngle(-0.5)))
         return S;
       break;
     case 3:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 4))
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, gammaAngle(-0.25)))
         return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 4))
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, gammaAngle(-0.25)))
         return S;
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma / 2))
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, gammaAngle(-0.5)))
         return S;
       break;
     }
@@ -515,7 +569,6 @@ Status Emitter::emitCompressedGates(const ColorPlan &Plan, int Color) {
 /// configurations LT-RT-LT.
 Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
   const Layout &L = Ctx.Options.Geometry;
-  double Gamma = Ctx.Options.Qaoa.Gamma;
 
   if (Status S = emitPolarityConjugation(Plan))
     return S;
@@ -550,7 +603,7 @@ Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
         return S;
 
     std::vector<std::pair<int, int>> Pairs;
-    std::vector<double> Thetas;
+    std::vector<ParamAngle> Thetas;
 
     // Config LT: (Left, Target) pairs interact; Right shifted away.
     if (Status S = ShiftRight(/*Away=*/true))
@@ -559,7 +612,7 @@ Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
     Thetas.clear();
     for (const ClausePlan *CP : Triples) {
       Pairs.push_back({CP->Left, CP->Target});
-      Thetas.push_back(Gamma / 4);
+      Thetas.push_back(gammaAngle(0.25));
     }
     if (Status S = emitRzzLadderStep(Pairs, Thetas))
       return S;
@@ -573,7 +626,7 @@ Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
     Thetas.clear();
     for (const ClausePlan *CP : Triples) {
       Pairs.push_back({CP->Target, CP->Right});
-      Thetas.push_back(Gamma / 4);
+      Thetas.push_back(gammaAngle(0.25));
     }
     if (Status S = emitRzzLadderStep(Pairs, Thetas))
       return S;
@@ -607,7 +660,7 @@ Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
     if (Status S = emitCxStep(CxTR))
       return S;
     for (const ClausePlan *CP : Triples)
-      if (Status S = ramanGate(CP->Right, GateKind::RZ, -Gamma / 4))
+      if (Status S = ramanGate(CP->Right, GateKind::RZ, gammaAngle(-0.25)))
         return S;
     if (Status S = emitCxStep(CxTR))
       return S;
@@ -625,21 +678,21 @@ Status Emitter::emitLadderGates(const ColorPlan &Plan, int Color) {
   for (const ClausePlan &CP : Plan.Clauses) {
     switch (CP.Width) {
     case 1:
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma))
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, gammaAngle(-1.0)))
         return S;
       break;
     case 2:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 2))
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, gammaAngle(-0.5)))
         return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 2))
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, gammaAngle(-0.5)))
         return S;
       break;
     case 3:
-      if (Status S = ramanGate(CP.Left, GateKind::RZ, -Gamma / 4))
+      if (Status S = ramanGate(CP.Left, GateKind::RZ, gammaAngle(-0.25)))
         return S;
-      if (Status S = ramanGate(CP.Target, GateKind::RZ, -Gamma / 4))
+      if (Status S = ramanGate(CP.Target, GateKind::RZ, gammaAngle(-0.25)))
         return S;
-      if (Status S = ramanGate(CP.Right, GateKind::RZ, -Gamma / 4))
+      if (Status S = ramanGate(CP.Right, GateKind::RZ, gammaAngle(-0.25)))
         return S;
       break;
     }
@@ -678,7 +731,7 @@ Status Emitter::run() {
     for (int Color = 0; Color < Ctx.Coloring.numColors(); ++Color)
       if (Status S = emitColor(Color, Ctx.Boundaries[BoundaryIdx++]))
         return S;
-    if (Status S = globalRaman(GateKind::RX, 2 * Ctx.Options.Qaoa.Beta))
+    if (Status S = globalRaman(GateKind::RX, betaAngle(2.0)))
       return S;
   }
   // Park every atom back in its home trap so the program ends in the same
@@ -688,6 +741,10 @@ Status Emitter::run() {
   if (Ctx.Options.Measure)
     for (int Q = 0; Q < Formula.numVariables(); ++Q)
       stmt(Gate(GateKind::Measure, {Q}));
+  // Parameterised pulses are always followed by their statement, so none
+  // can end up among the unpatched trailing annotations.
+  assert(PendingAngles.empty() &&
+         "parameterised angle left in trailing annotations");
   Program.TrailingAnnotations = std::move(Pending);
   Ctx.Program = std::move(Program);
   return Status::success();
@@ -700,6 +757,24 @@ Status GateLoweringPass::run(CompilationContext &Ctx) {
                                    Ctx.Coloring.numColors())
     return Status::error("shuttle schedule does not cover the execution "
                          "order; run ShuttleSchedulingPass first");
+  Ctx.AngleSlots.clear();
   Emitter E(Ctx);
   return E.run();
+}
+
+void GateLoweringPass::saveSections(const CompilationContext &Ctx,
+                                    PassCacheEntryBuilder &Builder) const {
+  Builder.Back.Program = Ctx.Program;
+  Builder.Back.AngleSlots = Ctx.AngleSlots;
+  Builder.SavedProgram = true;
+}
+
+bool GateLoweringPass::restoreSections(const PassCacheEntry &Entry,
+                                       CompilationContext &Ctx) const {
+  if (!Entry.Back)
+    return false;
+  Ctx.Program = Entry.Back->Program;
+  patchProgramAngles(Ctx.Program, Entry.Back->AngleSlots,
+                     Ctx.Options.Qaoa.Gamma, Ctx.Options.Qaoa.Beta);
+  return true;
 }

@@ -36,6 +36,16 @@ class GateLoweringPass : public Pass {
 public:
   const char *name() const override { return "gate-lowering"; }
   Status run(CompilationContext &Ctx) override;
+
+  /// At fixed non-angle inputs the emitted program is a template: gamma
+  /// and beta appear only as exact power-of-two multiples at positions the
+  /// emitter records (Ctx.AngleSlots when Ctx.CollectAngleSlots is set).
+  /// Restoring copies the cached template and patches the slots, which is
+  /// bit-identical to re-emission.
+  void saveSections(const CompilationContext &Ctx,
+                    PassCacheEntryBuilder &Builder) const override;
+  bool restoreSections(const PassCacheEntry &Entry,
+                       CompilationContext &Ctx) const override;
 };
 
 } // namespace pipeline

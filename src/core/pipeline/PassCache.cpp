@@ -1,0 +1,218 @@
+//===- core/pipeline/PassCache.cpp - Pass-result memoisation --------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/pipeline/PassCache.h"
+
+#include <cstring>
+
+using namespace weaver;
+using namespace weaver::core;
+using namespace weaver::core::pipeline;
+
+// --- Keys ----------------------------------------------------------------
+
+void PassCacheKey::add(uint64_t Word) { Words.push_back(Word); }
+
+void PassCacheKey::add(double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value), "double is not 64-bit");
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  Words.push_back(Bits);
+}
+
+void PassCacheKey::finish() {
+  // FNV-1a over the payload words.
+  uint64_t H = 1469598103934665603ull;
+  for (uint64_t W : Words)
+    for (int B = 0; B < 8; ++B) {
+      H ^= (W >> (8 * B)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  Hash = H;
+}
+
+// The key serializers below enumerate every field of Layout and
+// HardwareParams by hand. These asserts fail the build when a field is
+// added to either struct, forcing the new field into the key (or an
+// explicit exemption here) — a forgotten field would mean silent stale
+// hits.
+static_assert(sizeof(core::Layout) == 13 * sizeof(double),
+              "Layout changed: update PassCacheKey::frontHalf");
+static_assert(sizeof(fpqa::HardwareParams) == 15 * sizeof(double),
+              "HardwareParams changed: update PassCacheKey::program");
+
+PassCacheKey PassCacheKey::frontHalf(const CompilationContext &Ctx) {
+  PassCacheKey K;
+  const sat::CnfFormula &F = *Ctx.Formula;
+  K.add(static_cast<uint64_t>(F.numVariables()));
+  K.add(static_cast<uint64_t>(F.numClauses()));
+  for (const sat::Clause &C : F.clauses()) {
+    for (sat::Literal L : C)
+      K.add(static_cast<uint64_t>(static_cast<int64_t>(L.dimacs())));
+    // DIMACS-style clause terminator keeps clause boundaries unambiguous.
+    K.add(uint64_t{0});
+  }
+  const Layout &G = Ctx.Options.Geometry;
+  K.add(G.HomeSpacing);
+  K.add(G.PickupRowY);
+  K.add(G.TriangleHalfWidth);
+  K.add(G.TriangleHeight);
+  K.add(G.SiteSpacing);
+  K.add(G.ZoneBaseY);
+  K.add(G.ZoneStepY);
+  K.add(G.ZoneStepX);
+  K.add(static_cast<uint64_t>(G.ZoneCycle));
+  K.add(G.CzLift);
+  K.add(G.PairShift);
+  K.add(G.BumpGap);
+  K.add(G.ParkSpacing);
+  K.add(static_cast<uint64_t>(Ctx.UseDSatur));
+  K.finish();
+  return K;
+}
+
+PassCacheKey PassCacheKey::program(const PassCacheKey &FrontKey,
+                                   const CompilationContext &Ctx) {
+  PassCacheKey K = FrontKey;
+  K.add(static_cast<uint64_t>(Ctx.Options.Qaoa.Layers));
+  K.add(static_cast<uint64_t>(Ctx.Options.UseCompression));
+  K.add(static_cast<uint64_t>(Ctx.Options.ReuseAodAtoms));
+  K.add(static_cast<uint64_t>(Ctx.Options.Measure));
+  K.add(static_cast<uint64_t>(Ctx.Options.Qaoa.Measure));
+  K.add(static_cast<uint64_t>(Ctx.Options.Qaoa.UseCompressedClauses));
+  const fpqa::HardwareParams &Hw = Ctx.Hw;
+  K.add(Hw.MinSlmSeparation);
+  K.add(Hw.MinAodSeparation);
+  K.add(Hw.MaxTransferDistance);
+  K.add(Hw.RydbergRadius);
+  K.add(Hw.EquidistanceTolerance);
+  K.add(Hw.ShuttleSpeedUmPerSec);
+  K.add(Hw.TransferTime);
+  K.add(Hw.RamanLocalTime);
+  K.add(Hw.RamanGlobalTime);
+  K.add(Hw.RydbergTime);
+  K.add(Hw.RamanFidelity);
+  K.add(Hw.CzFidelity);
+  K.add(Hw.CczFidelity);
+  K.add(Hw.TransferFidelity);
+  K.add(Hw.T2);
+  K.finish();
+  return K;
+}
+
+// --- Store ---------------------------------------------------------------
+
+namespace {
+
+template <typename T, typename MapT>
+const T *findExact(MapT &Map, const PassCacheKey &Key) {
+  auto It = Map.find(Key.hash());
+  if (It == Map.end())
+    return nullptr;
+  for (const std::pair<PassCacheKey, T> &Entry : It->second)
+    if (Entry.first == Key)
+      return &Entry.second;
+  return nullptr;
+}
+
+} // namespace
+
+PassCacheEntry PassCache::lookupProgram(const PassCacheKey &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (const PassCacheEntry *E = findExact<PassCacheEntry>(ProgramMap, Key)) {
+    ++Counts.ProgramHits;
+    return *E;
+  }
+  ++Counts.ProgramMisses;
+  return {};
+}
+
+std::shared_ptr<const FrontHalfSections>
+PassCache::lookupFront(const PassCacheKey &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (const auto *F =
+          findExact<std::shared_ptr<const FrontHalfSections>>(FrontMap, Key)) {
+    ++Counts.FrontHits;
+    return *F;
+  }
+  ++Counts.FrontMisses;
+  return nullptr;
+}
+
+std::shared_ptr<const FrontHalfSections>
+PassCache::insertFront(const PassCacheKey &Key, FrontHalfSections Sections) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (const auto *F =
+          findExact<std::shared_ptr<const FrontHalfSections>>(FrontMap, Key))
+    return *F; // another worker compiled the same formula first
+  if (MaxEntries && NumEntries + 1 > MaxEntries) {
+    FrontMap.clear();
+    ProgramMap.clear();
+    NumEntries = 0;
+  }
+  auto Shared = std::make_shared<const FrontHalfSections>(std::move(Sections));
+  FrontMap[Key.hash()].push_back({Key, Shared});
+  ++NumEntries;
+  return Shared;
+}
+
+void PassCache::insertProgram(const PassCacheKey &Key,
+                              std::shared_ptr<const FrontHalfSections> Front,
+                              ProgramSections Sections) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (findExact<PassCacheEntry>(ProgramMap, Key))
+    return;
+  if (MaxEntries && NumEntries + 1 > MaxEntries) {
+    FrontMap.clear();
+    ProgramMap.clear();
+    NumEntries = 0;
+  }
+  PassCacheEntry E;
+  E.Front = std::move(Front);
+  E.Back = std::make_shared<const ProgramSections>(std::move(Sections));
+  ProgramMap[Key.hash()].push_back({Key, std::move(E)});
+  ++NumEntries;
+}
+
+PassCache::CacheStats PassCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counts;
+}
+
+size_t PassCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NumEntries;
+}
+
+void PassCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  FrontMap.clear();
+  ProgramMap.clear();
+  NumEntries = 0;
+}
+
+// --- Template instantiation ----------------------------------------------
+
+void pipeline::patchProgramAngles(qasm::WqasmProgram &Program,
+                                  const std::vector<AngleSlot> &Slots,
+                                  double Gamma, double Beta) {
+  for (const AngleSlot &S : Slots) {
+    double Value =
+        S.Coeff * (S.Dep == AngleSlot::Param::Gamma ? Gamma : Beta);
+    qasm::GateStatement &Stmt = Program.Statements[S.Statement];
+    switch (S.Where) {
+    case AngleSlot::Field::GateParam0:
+      Stmt.Gate.setParam(0, Value);
+      break;
+    case AngleSlot::Field::AnnotationX:
+      Stmt.Annotations[S.Annotation].AngleX = Value;
+      break;
+    case AngleSlot::Field::AnnotationZ:
+      Stmt.Annotations[S.Annotation].AngleZ = Value;
+      break;
+    }
+  }
+}

@@ -1,0 +1,168 @@
+//===- core/pipeline/PassCache.h - Pass-result memoisation -----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoisation of pass results across compilations that share inputs — the
+/// ROADMAP "Per-pass caching" item. A QAOA parameter sweep recompiles the
+/// same (formula, geometry) under varying gamma/beta/layers; the cache
+/// lets the pipeline skip everything those parameters do not influence.
+///
+/// Two tiers, under two keys:
+///
+///  * Front half — the clause colouring and zone plan depend only on
+///    (formula, geometry, colouring options). Keyed on exactly those; a
+///    hit skips straight to ShuttleSchedulingPass.
+///  * Program template — at fixed layers the emitted program differs
+///    across gamma/beta only in angle values, each an exact power-of-two
+///    multiple of one parameter (AngleSlot). The tier caches the program
+///    with its recorded angle slots plus the angle-independent pulse
+///    stats, keyed on every pipeline input except gamma/beta; a hit
+///    copies the template, patches the slots (bit-identical to direct
+///    emission), and skips gate lowering and the pulse-emission replay.
+///
+/// Keys hash the full input payload and compare it exactly on lookup, so
+/// hash collisions cannot alias entries. All operations are mutex-guarded:
+/// one cache may be shared by every worker of a BatchCompiler sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_CORE_PIPELINE_PASSCACHE_H
+#define WEAVER_CORE_PIPELINE_PASSCACHE_H
+
+#include "core/pipeline/CompilationContext.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace weaver {
+namespace core {
+namespace pipeline {
+
+/// Exact-match cache key: a flat word payload (formula, options, hardware)
+/// plus its hash. Lookups compare the payload, never just the hash.
+class PassCacheKey {
+public:
+  /// Key of the front half: formula + geometry + colouring options.
+  static PassCacheKey frontHalf(const CompilationContext &Ctx);
+  /// Key of the program template: every pipeline input except gamma/beta.
+  /// Extends an already-built front-half key so the formula payload is
+  /// serialized and hashed only once per compile.
+  static PassCacheKey program(const PassCacheKey &FrontKey,
+                              const CompilationContext &Ctx);
+
+  uint64_t hash() const { return Hash; }
+  friend bool operator==(const PassCacheKey &A, const PassCacheKey &B) {
+    return A.Hash == B.Hash && A.Words == B.Words;
+  }
+
+private:
+  void add(uint64_t Word);
+  void add(double Value);
+  void finish();
+
+  std::vector<uint64_t> Words;
+  uint64_t Hash = 0;
+};
+
+/// Context sections produced by ClauseColoringPass and ZonePlanningPass.
+struct FrontHalfSections {
+  ClauseColoring Coloring;
+  std::vector<ColorPlan> Plans;
+  std::vector<Vec2> SlmTraps;
+  std::map<std::pair<int, int>, int> ZoneSiteTrap;
+  int NumColumns = 0;
+};
+
+/// Context sections produced by GateLoweringPass and PulseEmissionPass:
+/// the program template with its parameterised angle slots, and the
+/// gamma/beta-independent pulse statistics.
+struct ProgramSections {
+  qasm::WqasmProgram Program;
+  std::vector<AngleSlot> AngleSlots;
+  fpqa::PulseStats Stats;
+};
+
+/// A cache hit handed to Pass::restoreSections. Front is set on both
+/// tiers; Back only on a program-template hit.
+struct PassCacheEntry {
+  std::shared_ptr<const FrontHalfSections> Front;
+  std::shared_ptr<const ProgramSections> Back;
+};
+
+/// Mutable entry under construction: passes fill their sections via
+/// Pass::saveSections as they run; PassManager inserts the finished tiers.
+struct PassCacheEntryBuilder {
+  FrontHalfSections Front;
+  ProgramSections Back;
+  bool SavedColoring = false;
+  bool SavedPlan = false;
+  bool SavedProgram = false;
+  bool SavedStats = false;
+};
+
+/// Thread-safe two-tier memoisation store. See file comment.
+class PassCache {
+public:
+  /// Hit/miss counters. A program-tier hit does not consult (or count)
+  /// the front tier; a program-tier miss falls through to a counted
+  /// front-tier lookup.
+  struct CacheStats {
+    uint64_t FrontHits = 0;
+    uint64_t FrontMisses = 0;
+    uint64_t ProgramHits = 0;
+    uint64_t ProgramMisses = 0;
+  };
+
+  /// \p MaxEntries bounds the total entry count across both tiers; the
+  /// cache is flushed when an insertion would exceed it (sweep working
+  /// sets are far smaller). 0 means unbounded.
+  explicit PassCache(size_t MaxEntries = 1024) : MaxEntries(MaxEntries) {}
+
+  /// Program-template lookup; on a hit both Front and Back are set.
+  PassCacheEntry lookupProgram(const PassCacheKey &Key);
+  /// Front-half lookup (counted only after a program-tier miss).
+  std::shared_ptr<const FrontHalfSections> lookupFront(const PassCacheKey &Key);
+
+  /// Inserts the front sections; returns the stored copy (the previously
+  /// cached one when another worker raced the insertion).
+  std::shared_ptr<const FrontHalfSections>
+  insertFront(const PassCacheKey &Key, FrontHalfSections Sections);
+  /// Inserts a program template linked to its front sections.
+  void insertProgram(const PassCacheKey &Key,
+                     std::shared_ptr<const FrontHalfSections> Front,
+                     ProgramSections Sections);
+
+  CacheStats stats() const;
+  /// Total entries across both tiers.
+  size_t size() const;
+  void clear();
+
+private:
+  template <typename T>
+  using KeyedMap =
+      std::unordered_map<uint64_t, std::vector<std::pair<PassCacheKey, T>>>;
+
+  mutable std::mutex Mutex;
+  KeyedMap<std::shared_ptr<const FrontHalfSections>> FrontMap;
+  KeyedMap<PassCacheEntry> ProgramMap;
+  CacheStats Counts;
+  size_t MaxEntries;
+  size_t NumEntries = 0;
+};
+
+/// Writes Coeff * (Gamma or Beta) into every recorded slot of \p Program.
+/// Bit-identical to direct emission because every coefficient is an exact
+/// power of two (see AngleSlot).
+void patchProgramAngles(qasm::WqasmProgram &Program,
+                        const std::vector<AngleSlot> &Slots, double Gamma,
+                        double Beta);
+
+} // namespace pipeline
+} // namespace core
+} // namespace weaver
+
+#endif // WEAVER_CORE_PIPELINE_PASSCACHE_H

@@ -10,13 +10,20 @@ using namespace weaver;
 using namespace weaver::core;
 using namespace weaver::core::pipeline;
 
-Status PulseEmissionPass::run(CompilationContext &Ctx) {
-  Ctx.PulseStream.clear();
-  for (const qasm::GateStatement &S : Ctx.Program.Statements)
+std::vector<qasm::Annotation>
+PulseEmissionPass::flatten(const qasm::WqasmProgram &Program) {
+  std::vector<qasm::Annotation> Stream;
+  Stream.reserve(Program.numAnnotations());
+  for (const qasm::GateStatement &S : Program.Statements)
     for (const qasm::Annotation &A : S.Annotations)
-      Ctx.PulseStream.push_back(A);
-  for (const qasm::Annotation &A : Ctx.Program.TrailingAnnotations)
-    Ctx.PulseStream.push_back(A);
+      Stream.push_back(A);
+  for (const qasm::Annotation &A : Program.TrailingAnnotations)
+    Stream.push_back(A);
+  return Stream;
+}
+
+Status PulseEmissionPass::run(CompilationContext &Ctx) {
+  Ctx.PulseStream = flatten(Ctx.Program);
 
   auto Stats = fpqa::analyzePulseProgram(Ctx.PulseStream, Ctx.Hw);
   if (!Stats)
@@ -24,4 +31,20 @@ Status PulseEmissionPass::run(CompilationContext &Ctx) {
   Ctx.Stats = *Stats;
   Ctx.HasStats = true;
   return Status::success();
+}
+
+void PulseEmissionPass::saveSections(const CompilationContext &Ctx,
+                                     PassCacheEntryBuilder &Builder) const {
+  Builder.Back.Stats = Ctx.Stats;
+  Builder.SavedStats = true;
+}
+
+bool PulseEmissionPass::restoreSections(const PassCacheEntry &Entry,
+                                        CompilationContext &Ctx) const {
+  if (!Entry.Back)
+    return false;
+  Ctx.PulseStream = flatten(Ctx.Program);
+  Ctx.Stats = Entry.Back->Stats;
+  Ctx.HasStats = true;
+  return true;
 }

@@ -26,6 +26,20 @@ class PulseEmissionPass : public Pass {
 public:
   const char *name() const override { return "pulse-emission"; }
   Status run(CompilationContext &Ctx) override;
+
+  /// Pulse statistics never read angle values (durations and fidelities
+  /// are per pulse kind), so they are cached with the program template;
+  /// restoring re-flattens the patched program and skips the replay — the
+  /// template was validated when it was built.
+  void saveSections(const CompilationContext &Ctx,
+                    PassCacheEntryBuilder &Builder) const override;
+  bool restoreSections(const PassCacheEntry &Entry,
+                       CompilationContext &Ctx) const override;
+
+  /// Flattens \p Program's annotations into one stream (setup + per
+  /// statement + trailing), the order the device executes them in.
+  static std::vector<qasm::Annotation>
+  flatten(const qasm::WqasmProgram &Program);
 };
 
 } // namespace pipeline

@@ -15,6 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <set>
+
 using namespace weaver;
 using namespace weaver::core;
 using sat::Clause;
@@ -86,6 +90,138 @@ TEST_P(ColoringProperty, DSaturIsValidAndNoWorseThanFirstFit) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty,
                          ::testing::Values(10, 20, 30, 40, 50, 60));
+
+namespace {
+
+/// The pre-rewrite quadratic DSatur (linear scan per step over set-based
+/// saturation state), kept verbatim as the behavioural reference: the
+/// bucketed implementation must reproduce its selection order — and thus
+/// its colouring — exactly.
+std::vector<int> referenceDSatur(const CnfFormula &F) {
+  size_t N = F.numClauses();
+  std::vector<std::vector<size_t>> Adj(N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      if (I != J && F.clause(I).sharesVariableWith(F.clause(J)))
+        Adj[I].push_back(J);
+  // The dense formulation has a self-loop for clauses repeating a variable.
+  for (size_t I = 0; I < N; ++I) {
+    const Clause &C = F.clause(I);
+    for (size_t A = 0; A < C.size(); ++A)
+      for (size_t B = 0; B < A; ++B)
+        if (C[A].variable() == C[B].variable() &&
+            (Adj[I].empty() || Adj[I].back() != I)) {
+          Adj[I].push_back(I);
+          std::sort(Adj[I].begin(), Adj[I].end());
+        }
+  }
+  std::vector<int> ColorOf(N, -1);
+  std::vector<std::set<int>> NeighbourColors(N);
+  for (size_t Step = 0; Step < N; ++Step) {
+    size_t Best = N;
+    for (size_t I = 0; I < N; ++I) {
+      if (ColorOf[I] != -1)
+        continue;
+      if (Best == N ||
+          NeighbourColors[I].size() > NeighbourColors[Best].size() ||
+          (NeighbourColors[I].size() == NeighbourColors[Best].size() &&
+           Adj[I].size() > Adj[Best].size()))
+        Best = I;
+    }
+    int Color = 0;
+    while (NeighbourColors[Best].count(Color))
+      ++Color;
+    ColorOf[Best] = Color;
+    for (size_t Nb : Adj[Best])
+      NeighbourColors[Nb].insert(Color);
+  }
+  return ColorOf;
+}
+
+/// Mixed-width formula with unit/binary clauses and a repeated variable.
+CnfFormula awkwardFormula() {
+  return CnfFormula(7, {Clause{1}, Clause{-2, 3}, Clause{-3, -4, -5},
+                        Clause{2, 4}, Clause{-1, 4, 5}, Clause{6, -6, 7},
+                        Clause{5}, Clause{-7, 1, 2}});
+}
+
+} // namespace
+
+TEST(ClauseColoring, BucketedDSaturMatchesQuadraticReference) {
+  for (uint64_t Seed : {1u, 7u, 23u, 91u}) {
+    CnfFormula F = sat::RandomSatGenerator(Seed).generate(18, 75);
+    EXPECT_EQ(colorClausesDSatur(F).ColorOf, referenceDSatur(F))
+        << "seed " << Seed;
+  }
+  CnfFormula Awkward = awkwardFormula();
+  EXPECT_EQ(colorClausesDSatur(Awkward).ColorOf, referenceDSatur(Awkward));
+}
+
+TEST(ClauseColoring, ConflictGraphMatchesPairwisePredicate) {
+  CnfFormula F = awkwardFormula();
+  std::vector<std::vector<size_t>> Adj = buildClauseConflictGraph(F);
+  ASSERT_EQ(Adj.size(), F.numClauses());
+  for (size_t I = 0; I < F.numClauses(); ++I)
+    for (size_t J = 0; J < F.numClauses(); ++J) {
+      bool Conflicts =
+          I != J && F.clause(I).sharesVariableWith(F.clause(J));
+      bool Listed =
+          std::find(Adj[I].begin(), Adj[I].end(), J) != Adj[I].end();
+      if (I != J) {
+        EXPECT_EQ(Listed, Conflicts) << I << " vs " << J;
+      }
+    }
+  // Clause 5 repeats variable 6, so it carries the dense self-loop.
+  EXPECT_NE(std::find(Adj[5].begin(), Adj[5].end(), 5u), Adj[5].end());
+  EXPECT_EQ(std::find(Adj[0].begin(), Adj[0].end(), 0u), Adj[0].end());
+}
+
+TEST(ClauseColoring, IsValidMatchesPairwiseCheck) {
+  CnfFormula F = awkwardFormula();
+  sat::RandomSatGenerator Gen(3);
+  // Random colourings (valid and invalid alike) must agree with the
+  // brute-force pairwise definition.
+  std::mt19937_64 Rng(5);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    ClauseColoring C;
+    for (size_t I = 0; I < F.numClauses(); ++I)
+      C.ColorOf.push_back(static_cast<int>(Rng() % 4));
+    bool Reference = true;
+    for (size_t I = 0; I < F.numClauses() && Reference; ++I)
+      for (size_t J = I + 1; J < F.numClauses(); ++J)
+        if (C.ColorOf[I] == C.ColorOf[J] &&
+            F.clause(I).sharesVariableWith(F.clause(J))) {
+          Reference = false;
+          break;
+        }
+    EXPECT_EQ(C.isValid(F), Reference) << "trial " << Trial;
+  }
+  // Size mismatch is invalid.
+  ClauseColoring Short;
+  Short.ColorOf = {0};
+  EXPECT_FALSE(Short.isValid(F));
+}
+
+TEST(ClauseColoring, FirstFitUsesSmallestFreeColourInInputOrder) {
+  for (uint64_t Seed : {2u, 13u}) {
+    CnfFormula F = sat::RandomSatGenerator(Seed).generate(12, 50);
+    ClauseColoring C = colorClausesFirstFit(F);
+    ASSERT_TRUE(C.isValid(F));
+    // Reference: greedy smallest-free-colour over the pairwise predicate.
+    std::vector<int> Expected(F.numClauses(), -1);
+    for (size_t I = 0; I < F.numClauses(); ++I) {
+      std::set<int> Used;
+      for (size_t J = 0; J < I; ++J)
+        if (F.clause(I).sharesVariableWith(F.clause(J)))
+          Used.insert(Expected[J]);
+      int Color = 0;
+      while (Used.count(Color))
+        ++Color;
+      Expected[I] = Color;
+    }
+    EXPECT_EQ(C.ColorOf, Expected) << "seed " << Seed;
+  }
+}
 
 // --- End-to-end compilation + verification -------------------------------------
 
