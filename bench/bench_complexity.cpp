@@ -10,7 +10,12 @@
 /// O(N^3) from SABRE; Geyser: O(K^2) over K operations; DPQA: O(2^K);
 /// Weaver: O(N^2)), with K derived from the actual ladder circuit sizes.
 /// A measured-compile-time column for Weaver corroborates the quadratic
-/// model empirically.
+/// model empirically, split into the colouring and the back half
+/// (lowering + replay). BM_WeaverBackHalf additionally fits the back
+/// half against the emitted pulse count up to 2k clauses: with the
+/// spatial-grid device index it is O((pulses + atoms) log), i.e. the
+/// compiler's time per emitted pulse is flat instead of growing with the
+/// atom count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,6 +86,45 @@ void BM_ClauseColoring(benchmark::State &State) {
 }
 BENCHMARK(BM_ClauseColoring)->Arg(20)->Arg(50)->Arg(100)->Arg(200)->Arg(250)
     ->Complexity(benchmark::oNSquared);
+
+/// Measured back half (gate lowering + pulse-emission replay) at a fixed
+/// clause/variable ratio, up to 2k clauses. Complexity is fitted against
+/// the number of emitted pulse annotations: since the spatial-grid device
+/// index the back half is O((pulses + atoms) log) — proportional to the
+/// stream it emits and replays — where it used to pay an all-pairs
+/// O(atoms^2) proximity scan per Rydberg pulse plus tree-map occupancy
+/// updates per instruction. (The stream itself grows quadratically with
+/// the column count per boundary; its length is pinned byte-for-byte by
+/// the goldens, so the win is time-per-pulse, not fewer pulses.)
+void BM_WeaverBackHalf(benchmark::State &State) {
+  size_t Clauses = static_cast<size_t>(State.range(0));
+  int Vars =
+      static_cast<int>(static_cast<double>(Clauses) / sat::SatlibClauseRatio);
+  sat::CnfFormula F = sat::RandomSatGenerator(99).generate(Vars, Clauses);
+  int64_t Pulses = 0;
+  for (auto _ : State) {
+    auto R = core::compileWeaver(F, core::WeaverOptions());
+    double BackHalf = 0;
+    if (R) {
+      for (const core::pipeline::PassTiming &T : R->PassTimings)
+        if (T.PassName == "gate-lowering" || T.PassName == "pulse-emission")
+          BackHalf += T.Seconds;
+      Pulses = static_cast<int64_t>(R->Program.numAnnotations());
+    }
+    State.SetIterationTime(BackHalf);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["clauses"] = static_cast<double>(Clauses);
+  State.counters["pulses"] = static_cast<double>(Pulses);
+  State.SetComplexityN(Pulses);
+}
+BENCHMARK(BM_WeaverBackHalf)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->UseManualTime()
+    ->Complexity(benchmark::oNLogN);
 
 } // namespace
 

@@ -93,6 +93,27 @@ void BM_SweepCached(benchmark::State &State) {
 }
 BENCHMARK(BM_SweepCached)->Arg(50)->Arg(100)->Arg(250)->Complexity();
 
+/// Single compile on a warm program-template cache: copy + angle-patch
+/// the template and re-index the pulse stream. The stream index is now a
+/// vector of non-owning pointers into the program, so a hit pays one
+/// annotation copy (the template instantiation), not two.
+void BM_CachedInstantiation(benchmark::State &State) {
+  sat::CnfFormula F =
+      sat::satlibInstance(static_cast<int>(State.range(0)), 1);
+  core::pipeline::PassCache Cache;
+  core::WeaverOptions Opt;
+  Opt.Cache = &Cache;
+  auto Warm = core::compileWeaver(F, Opt); // builds the template entry
+  benchmark::DoNotOptimize(Warm);
+  Opt.Qaoa.Gamma = 0.9;
+  Opt.Qaoa.Beta = 0.35;
+  for (auto _ : State) {
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CachedInstantiation)->Arg(100)->Arg(250);
+
 /// DSatur cost against clause count at the SATLIB clause/variable ratio.
 /// The O(N^2) reference would grow 64x from 250 to 2000 clauses; the
 /// bucketed implementation's fitted exponent stays well below 2.

@@ -90,12 +90,12 @@ bool Checker::processAnnotation(const Annotation &A) {
     break;
   }
   case AnnotationKind::Rydberg: {
-    auto Clusters = Device.rydbergClusters();
+    auto Clusters = Device.rydbergClustersRef();
     if (!Clusters)
       return fail("invalid Rydberg pulse: " + Clusters.message());
     Expectation E;
     E.K = Expectation::Kind::Rydberg;
-    for (const fpqa::RydbergCluster &C : *Clusters)
+    for (const fpqa::RydbergCluster &C : **Clusters)
       E.Clusters.push_back(std::set<int>(C.Qubits.begin(), C.Qubits.end()));
     if (E.Clusters.empty())
       return fail("Rydberg pulse with no interacting atoms");

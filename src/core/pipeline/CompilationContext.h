@@ -146,7 +146,10 @@ struct CompilationContext {
   std::vector<AngleSlot> AngleSlots;
 
   // --- PulseEmissionPass ------------------------------------------------
-  std::vector<qasm::Annotation> PulseStream;
+  /// Non-owning view of Program's annotations in execution order; valid as
+  /// long as Program is not mutated (the annotations themselves are never
+  /// copied out of the program).
+  std::vector<const qasm::Annotation *> PulseStream;
   fpqa::PulseStats Stats;
   bool HasStats = false;
 

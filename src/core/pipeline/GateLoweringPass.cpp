@@ -44,7 +44,10 @@ struct ParamAngle {
 class Emitter {
 public:
   explicit Emitter(CompilationContext &Ctx)
-      : Ctx(Ctx), Formula(*Ctx.Formula), Device(Ctx.Hw) {}
+      : Ctx(Ctx), Formula(*Ctx.Formula), Device(Ctx.Hw) {
+    QubitColumn.assign(Formula.numVariables(), -1);
+    QubitColumnEpoch.assign(Formula.numVariables(), 0);
+  }
 
   Status run();
 
@@ -113,6 +116,16 @@ private:
     AngleSlot::Param Dep;
   };
   std::vector<PendingAngle> PendingAngles;
+
+  /// Epoch-tagged qubit -> column index for the current boundary; avoids
+  /// both a per-boundary reset and the former clauses x slots scan.
+  std::vector<int> QubitColumn;
+  std::vector<uint32_t> QubitColumnEpoch;
+  uint32_t ColumnEpoch = 0;
+
+  /// High-water annotation count of a statement flush, used to pre-size
+  /// Pending for the next boundary's movement burst.
+  size_t PendingHint = 0;
 };
 
 Status Emitter::pulse(Annotation A) {
@@ -125,8 +138,13 @@ Status Emitter::pulse(Annotation A) {
 
 void Emitter::stmt(const Gate &G) {
   uint32_t StmtIdx = static_cast<uint32_t>(Program.Statements.size());
-  Program.Statements.push_back(qasm::GateStatement{G, std::move(Pending)});
-  Pending.clear();
+  // Hand the whole buffer to the flushing statement (O(1) swap — each
+  // annotation is only ever written once, where it ends up). The next
+  // boundary pre-sizes the fresh buffer from PendingHint, so the burst of
+  // a movement cascade does not regrow it from scratch either.
+  PendingHint = std::max(PendingHint, Pending.size());
+  Program.Statements.push_back(qasm::GateStatement{G, {}});
+  Program.Statements.back().Annotations.swap(Pending);
   for (const PendingAngle &P : PendingAngles)
     Ctx.AngleSlots.push_back({StmtIdx, static_cast<uint32_t>(P.AnnIdx),
                               P.Where, P.Dep, P.Coeff});
@@ -281,21 +299,29 @@ Status Emitter::emitHomeRounds(std::vector<Slot> Atoms) {
   const Layout &L = Ctx.Options.Geometry;
   std::sort(Atoms.begin(), Atoms.end(),
             [](const Slot &A, const Slot &B) { return A.Column < B.Column; });
-  std::vector<Slot> Remaining = std::move(Atoms);
-  while (!Remaining.empty()) {
-    // Greedy maximal subsequence whose home x increases with column index.
-    std::vector<Slot> Round;
-    std::vector<Slot> Deferred;
-    double LastHomeX = -1e300;
-    for (const Slot &S : Remaining) {
-      double HomeX = L.homePosition(S.Qubit).X;
-      if (HomeX > LastHomeX) {
-        Round.push_back(S);
-        LastHomeX = HomeX;
-      } else {
-        Deferred.push_back(S);
-      }
+  // Partition into the order-preserving rounds. First-fit placement onto
+  // the round tails is equivalent to the former repeated greedy
+  // maximal-increasing-subsequence extraction (an element lands in round
+  // r exactly when it breaks the chains of rounds 0..r-1), and the tails
+  // are non-increasing across rounds, so each element binary-searches its
+  // round: O(k log k) instead of O(k x rounds) re-scans.
+  std::vector<std::vector<Slot>> Rounds;
+  std::vector<double> Tails; ///< last home x per round, non-increasing
+  for (const Slot &S : Atoms) {
+    double HomeX = L.homePosition(S.Qubit).X;
+    size_t R =
+        std::lower_bound(Tails.begin(), Tails.end(), HomeX,
+                         [](double Tail, double H) { return Tail >= H; }) -
+        Tails.begin();
+    if (R == Rounds.size()) {
+      Rounds.emplace_back();
+      Tails.push_back(HomeX);
+    } else {
+      Tails[R] = HomeX;
     }
+    Rounds[R].push_back(S);
+  }
+  for (const std::vector<Slot> &Round : Rounds) {
     // One parallel shuttle batch: every column of the round moves to its
     // atom's home column position.
     for (const Slot &S : Round)
@@ -316,7 +342,6 @@ Status Emitter::emitHomeRounds(std::vector<Slot> Atoms) {
       if (Status St = transferHome(S.Qubit, S.Column))
         return St;
     }
-    Remaining = std::move(Deferred);
   }
   return Status::success();
 }
@@ -324,6 +349,7 @@ Status Emitter::emitHomeRounds(std::vector<Slot> Atoms) {
 Status Emitter::emitFinalUnload() {
   if (Ctx.FinalUnload.empty())
     return Status::success();
+  Pending.reserve(PendingHint);
   if (Status S = shuttleRowTo(Ctx.Options.Geometry.PickupRowY))
     return S;
   return emitHomeRounds(Ctx.FinalUnload);
@@ -333,6 +359,7 @@ Status Emitter::emitColorBoundary(ColorPlan &Plan,
                                   const BoundarySchedule &B) {
   if (B.Empty)
     return Status::success();
+  Pending.reserve(PendingHint);
   if (B.NeedPickupShuttle)
     if (Status S = shuttleRowTo(Ctx.Options.Geometry.PickupRowY))
       return S;
@@ -341,22 +368,49 @@ Status Emitter::emitColorBoundary(ColorPlan &Plan,
   if (Status S = emitHomeRounds(B.ToLoad))
     return S;
 
-  // Record the scheduled assignment on the plan.
+  // Record the scheduled assignment on the plan. An epoch-tagged
+  // qubit -> column index makes this O(slots + clauses) per boundary
+  // instead of the former clauses x slots scan.
   int NumSlots = static_cast<int>(Plan.Slots.size());
-  for (int I = 0; I < NumSlots; ++I)
+  ++ColumnEpoch;
+  for (int I = 0; I < NumSlots; ++I) {
     Plan.Slots[I].Column = B.SlotColumn[I];
-  for (ClausePlan &CP : Plan.Clauses)
-    for (const Slot &S : Plan.Slots) {
-      if (S.Qubit == CP.Left)
-        CP.ColLeft = S.Column;
-      if (S.Qubit == CP.Target)
-        CP.ColTarget = S.Column;
-      if (S.Qubit == CP.Right)
-        CP.ColRight = S.Column;
-    }
+    int Q = Plan.Slots[I].Qubit;
+    QubitColumn[Q] = B.SlotColumn[I];
+    QubitColumnEpoch[Q] = ColumnEpoch;
+  }
+  auto ColOf = [&](int Q, int Fallback) {
+    return Q >= 0 && QubitColumnEpoch[Q] == ColumnEpoch ? QubitColumn[Q]
+                                                        : Fallback;
+  };
+  for (ClausePlan &CP : Plan.Clauses) {
+    CP.ColLeft = ColOf(CP.Left, CP.ColLeft);
+    CP.ColTarget = ColOf(CP.Target, CP.ColTarget);
+    CP.ColRight = ColOf(CP.Right, CP.ColRight);
+  }
 
-  // Single increasing sweep onto the scheduled targets; a verification
-  // pass guards the invariant.
+  // Single increasing sweep onto the scheduled targets. The scheduler
+  // guarantees targets ascending with >= BumpGap spacing; under that
+  // invariant a rightward move can only bump a not-yet-placed column (at
+  // most onto its own target) and a leftward move never reaches back to a
+  // placed one, so one sweep provably places every column and the former
+  // verification re-scans are dead. Check the invariant in O(columns) and
+  // keep the guarded iteration as a fallback for irregular targets.
+  const double Gap = Ctx.Options.Geometry.BumpGap;
+  bool Monotone = true;
+  for (int C = 0; C + 1 < Ctx.NumColumns; ++C)
+    Monotone &= B.ColumnTargets[C + 1] - B.ColumnTargets[C] >= Gap - 1e-9;
+  if (Monotone) {
+    for (int C = 0; C < Ctx.NumColumns; ++C)
+      if (Status St = moveColumnTo(C, B.ColumnTargets[C]))
+        return St;
+#ifndef NDEBUG
+    for (int C = 0; C < Ctx.NumColumns; ++C)
+      assert(std::abs(ColX[C] - B.ColumnTargets[C]) < 1e-9 &&
+             "monotone sweep left a column off target");
+#endif
+    return Status::success();
+  }
   for (int Sweep = 0; Sweep < 3; ++Sweep) {
     bool AllPlaced = true;
     for (int C = 0; C < Ctx.NumColumns; ++C) {

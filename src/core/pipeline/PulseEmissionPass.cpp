@@ -10,22 +10,20 @@ using namespace weaver;
 using namespace weaver::core;
 using namespace weaver::core::pipeline;
 
-std::vector<qasm::Annotation>
+std::vector<const qasm::Annotation *>
 PulseEmissionPass::flatten(const qasm::WqasmProgram &Program) {
-  std::vector<qasm::Annotation> Stream;
+  std::vector<const qasm::Annotation *> Stream;
   Stream.reserve(Program.numAnnotations());
-  for (const qasm::GateStatement &S : Program.Statements)
-    for (const qasm::Annotation &A : S.Annotations)
-      Stream.push_back(A);
-  for (const qasm::Annotation &A : Program.TrailingAnnotations)
-    Stream.push_back(A);
+  for (const qasm::Annotation &A : qasm::AnnotationView(Program))
+    Stream.push_back(&A);
   return Stream;
 }
 
 Status PulseEmissionPass::run(CompilationContext &Ctx) {
   Ctx.PulseStream = flatten(Ctx.Program);
 
-  auto Stats = fpqa::analyzePulseProgram(Ctx.PulseStream, Ctx.Hw);
+  // Replay straight off the program — no copied stream.
+  auto Stats = fpqa::analyzePulseProgram(Ctx.Program, Ctx.Hw);
   if (!Stats)
     return Stats.status();
   Ctx.Stats = *Stats;

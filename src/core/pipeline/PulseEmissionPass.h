@@ -5,11 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Pipeline stage 5: flattens the annotated program into the executable
-/// pulse stream and replays it on a fresh device model to derive the
-/// paper's evaluation metrics (pulse counts, execution time, EPS — §8).
-/// The replay re-validates every Table 1 pre-condition end to end, so a
-/// program that survives this pass is executable by construction.
+/// Pipeline stage 5: replays the program's annotations (in execution
+/// order, through the zero-copy qasm::AnnotationView) on a fresh device
+/// model to derive the paper's evaluation metrics (pulse counts,
+/// execution time, EPS — §8), and publishes a non-owning index of the
+/// pulse stream. The replay re-validates every Table 1 pre-condition end
+/// to end, so a program that survives this pass is executable by
+/// construction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,9 +38,10 @@ public:
   bool restoreSections(const PassCacheEntry &Entry,
                        CompilationContext &Ctx) const override;
 
-  /// Flattens \p Program's annotations into one stream (setup + per
-  /// statement + trailing), the order the device executes them in.
-  static std::vector<qasm::Annotation>
+  /// Indexes \p Program's annotations as one stream of non-owning
+  /// pointers (setup + per statement + trailing), the order the device
+  /// executes them in. Valid while \p Program is alive and unmutated.
+  static std::vector<const qasm::Annotation *>
   flatten(const qasm::WqasmProgram &Program);
 };
 

@@ -6,91 +6,77 @@
 
 #include "fpqa/Analysis.h"
 
+#include "fpqa/BatchTracker.h"
+
 #include <cmath>
-#include <set>
 
 using namespace weaver;
 using namespace weaver::fpqa;
 using qasm::Annotation;
 using qasm::AnnotationKind;
 
-Expected<PulseStats>
-fpqa::analyzePulseProgram(const std::vector<Annotation> &Program,
-                          const HardwareParams &Params) {
-  FpqaDevice Device(Params);
-  PulseStats Stats;
-  double EpsLog = 0; // accumulate log-fidelity for numerical stability
+namespace {
 
-  // Shuttle/transfer batching state: a batch extends while consecutive
-  // instructions of the same kind touch pairwise-distinct rows/columns.
-  enum class BatchKind { None, Shuttle, Transfer };
-  BatchKind Batch = BatchKind::None;
-  std::set<std::pair<bool, int>> BatchAxes; // (isRow, index) for shuttles
-  double BatchMaxDistance = 0;
+/// Streaming replay accumulator: feed annotations in execution order via
+/// step(), then read the totals with finish(). Works over any range —
+/// the zero-copy qasm::AnnotationView or a materialised vector.
+class PulseReplayer {
+public:
+  explicit PulseReplayer(const HardwareParams &Params)
+      : Params(Params), Device(Params) {}
 
-  auto CloseBatch = [&]() {
-    if (Batch == BatchKind::Shuttle) {
-      Stats.ShuttleBatches++;
-      Stats.Duration += BatchMaxDistance / Params.ShuttleSpeedUmPerSec;
-    } else if (Batch == BatchKind::Transfer) {
-      Stats.TransferBatches++;
-      Stats.Duration += Params.TransferTime;
-    }
-    Batch = BatchKind::None;
-    BatchAxes.clear();
-    BatchMaxDistance = 0;
-  };
-
-  for (const Annotation &A : Program) {
+  Status step(const Annotation &A) {
     if (Status S = Device.apply(A))
-      return Expected<PulseStats>(S);
+      return S;
     switch (A.Kind) {
     case AnnotationKind::Slm:
     case AnnotationKind::Aod:
     case AnnotationKind::Bind:
-      CloseBatch();
+      closeBatch();
       break; // setup: no pulse, no time
     case AnnotationKind::Shuttle: {
       Stats.ShuttleInstructions++;
-      std::pair<bool, int> Axis{A.ShuttleRow, A.ShuttleIndex};
-      if (Batch != BatchKind::Shuttle || BatchAxes.count(Axis)) {
-        CloseBatch();
-        Batch = BatchKind::Shuttle;
+      if (Batches.Batch != BatchTracker::Kind::Shuttle ||
+          Batches.axisSeen(A.ShuttleRow, A.ShuttleIndex)) {
+        closeBatch();
+        Batches.Batch = BatchTracker::Kind::Shuttle;
       }
-      BatchAxes.insert(Axis);
-      BatchMaxDistance = std::max(BatchMaxDistance, std::abs(A.Offset));
+      Batches.markAxis(A.ShuttleRow, A.ShuttleIndex);
+      Batches.MaxDistance = std::max(Batches.MaxDistance, std::abs(A.Offset));
       break;
     }
     case AnnotationKind::Transfer: {
       Stats.TransferInstructions++;
-      if (Batch != BatchKind::Transfer) {
-        CloseBatch();
-        Batch = BatchKind::Transfer;
+      if (Batches.Batch != BatchTracker::Kind::Transfer) {
+        closeBatch();
+        Batches.Batch = BatchTracker::Kind::Transfer;
       }
       EpsLog += std::log(Params.TransferFidelity);
       break;
     }
     case AnnotationKind::RamanLocal:
-      CloseBatch();
+      closeBatch();
       Stats.RamanLocalPulses++;
       Stats.Duration += Params.RamanLocalTime;
       EpsLog += std::log(Params.RamanFidelity);
       break;
     case AnnotationKind::RamanGlobal:
-      CloseBatch();
+      closeBatch();
       Stats.RamanGlobalPulses++;
       Stats.Duration += Params.RamanGlobalTime;
       EpsLog += static_cast<double>(Device.numAtoms()) *
                 std::log(Params.RamanFidelity);
       break;
     case AnnotationKind::Rydberg: {
-      CloseBatch();
+      closeBatch();
       Stats.RydbergPulses++;
       Stats.Duration += Params.RydbergTime;
-      auto Clusters = Device.rydbergClusters();
+      // The device memoised the cluster decomposition while validating
+      // the pulse in apply(), so this query is a copy-free cache hit.
+      auto Clusters = Device.rydbergClustersRef();
       if (!Clusters)
-        return Expected<PulseStats>(Clusters.status());
-      for (const RydbergCluster &C : *Clusters) {
+        return Clusters.status();
+      for (const RydbergCluster &C : **Clusters) {
         if (C.Qubits.size() == 2) {
           Stats.CzGates++;
           EpsLog += std::log(Params.CzFidelity);
@@ -102,12 +88,58 @@ fpqa::analyzePulseProgram(const std::vector<Annotation> &Program,
       break;
     }
     }
+    return Status::success();
   }
-  CloseBatch();
-  Stats.NumAtoms = Device.numAtoms();
-  // Decoherence: every atom idles for the program duration (§8.3: longer
-  // circuit duration -> higher chance of decoherence errors).
-  EpsLog -= static_cast<double>(Stats.NumAtoms) * Stats.Duration / Params.T2;
-  Stats.Eps = std::exp(EpsLog);
-  return Stats;
+
+  PulseStats finish() {
+    closeBatch();
+    Stats.NumAtoms = Device.numAtoms();
+    // Decoherence: every atom idles for the program duration (§8.3: longer
+    // circuit duration -> higher chance of decoherence errors).
+    EpsLog -= static_cast<double>(Stats.NumAtoms) * Stats.Duration / Params.T2;
+    Stats.Eps = std::exp(EpsLog);
+    return Stats;
+  }
+
+private:
+  void closeBatch() {
+    if (Batches.Batch == BatchTracker::Kind::Shuttle) {
+      Stats.ShuttleBatches++;
+      Stats.Duration += Batches.MaxDistance / Params.ShuttleSpeedUmPerSec;
+    } else if (Batches.Batch == BatchTracker::Kind::Transfer) {
+      Stats.TransferBatches++;
+      Stats.Duration += Params.TransferTime;
+    }
+    Batches.reset();
+  }
+
+  const HardwareParams &Params;
+  FpqaDevice Device;
+  PulseStats Stats;
+  double EpsLog = 0; // accumulate log-fidelity for numerical stability
+  BatchTracker Batches;
+};
+
+template <typename Range>
+Expected<PulseStats> analyzeRange(const Range &Program,
+                                  const HardwareParams &Params) {
+  PulseReplayer Replay(Params);
+  for (const Annotation &A : Program)
+    if (Status S = Replay.step(A))
+      return Expected<PulseStats>(S);
+  return Replay.finish();
+}
+
+} // namespace
+
+Expected<PulseStats>
+fpqa::analyzePulseProgram(const std::vector<Annotation> &Program,
+                          const HardwareParams &Params) {
+  return analyzeRange(Program, Params);
+}
+
+Expected<PulseStats>
+fpqa::analyzePulseProgram(const qasm::WqasmProgram &Program,
+                          const HardwareParams &Params) {
+  return analyzeRange(qasm::AnnotationView(Program), Params);
 }

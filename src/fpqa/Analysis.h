@@ -20,6 +20,7 @@
 #define WEAVER_FPQA_ANALYSIS_H
 
 #include "fpqa/Device.h"
+#include "qasm/Program.h"
 
 #include <vector>
 
@@ -55,6 +56,12 @@ struct PulseStats {
 Expected<PulseStats>
 analyzePulseProgram(const std::vector<qasm::Annotation> &Program,
                     const HardwareParams &Params);
+
+/// Zero-copy overload: replays the program's annotations in execution
+/// order through a qasm::AnnotationView without materialising a flattened
+/// stream.
+Expected<PulseStats> analyzePulseProgram(const qasm::WqasmProgram &Program,
+                                         const HardwareParams &Params);
 
 } // namespace fpqa
 } // namespace weaver

@@ -13,6 +13,16 @@
 /// the same state machine the wChecker re-simulates to translate Rydberg
 /// pulses back into logical gates (paper §6, Fig. 9).
 ///
+/// Proximity queries run against a uniform spatial hash grid bucketed at
+/// \c RydbergRadius that is maintained incrementally: a bind indexes the
+/// atom directly, and a transfer/shuttle dirty-marks exactly the atoms it
+/// moved (O(1) each), which the next query lazily re-indexes — positions
+/// are never regathered from scratch per pulse, and an atom moved many
+/// times between two pulses pays one grid update. \c rydbergClusters()
+/// therefore only inspects neighbouring cells (O(atoms) with bounded
+/// occupancy instead of the all-pairs O(atoms^2) scan), and its result is
+/// memoised until the next position change.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEAVER_FPQA_DEVICE_H
@@ -23,7 +33,7 @@
 #include "support/Geometry.h"
 #include "support/Status.h"
 
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace weaver {
@@ -47,7 +57,8 @@ struct RydbergCluster {
 class FpqaDevice {
 public:
   explicit FpqaDevice(const HardwareParams &Params = HardwareParams())
-      : Params(Params) {}
+      : Params(Params),
+        GridCellSize(Params.RydbergRadius > 0 ? Params.RydbergRadius : 1.0) {}
 
   const HardwareParams &params() const { return Params; }
 
@@ -65,15 +76,27 @@ public:
   /// Returns true if \p Qubit is bound to a trap.
   bool isBound(int Qubit) const;
 
-  /// Number of bound atoms.
+  /// Number of bound atoms. O(1): a counter maintained by bind, checked
+  /// against the full scan in debug builds.
   size_t numAtoms() const;
 
   /// Computes the interaction clusters a global Rydberg pulse would act on:
   /// connected components of the "closer than RydbergRadius" graph with at
   /// least two atoms. Fails when a cluster exceeds three atoms or a 3-atom
   /// cluster is not (approximately) equidistant — the digital-computation
-  /// validity conditions of §6/§7.
+  /// validity conditions of §6/§7. Queries the spatial grid and memoises
+  /// the (successful) result until an atom moves.
   Expected<std::vector<RydbergCluster>> rydbergClusters() const;
+
+  /// Copy-free variant for per-pulse hot paths: validates like
+  /// \c rydbergClusters() but returns a pointer to the memoised
+  /// decomposition, valid until the next position change.
+  Expected<const std::vector<RydbergCluster> *> rydbergClustersRef() const;
+
+  /// Reference implementation of \c rydbergClusters over the all-pairs
+  /// proximity graph (the pre-grid quadratic scan, kept verbatim). Tests
+  /// pin the grid path against it; production code should never call it.
+  Expected<std::vector<RydbergCluster>> rydbergClustersAllPairs() const;
 
   // --- Introspection used by codegen and tests -------------------------
   size_t numSlmTraps() const { return SlmTraps.size(); }
@@ -95,14 +118,64 @@ private:
 
   int aodOccupant(int Col, int Row) const;
   void setAodOccupant(int Col, int Row, int Qubit);
+  void eraseAodOccupant(int Col, int Row);
+
+  // --- Spatial hash grid (see file comment) ----------------------------
+  /// Key of the grid cell containing \p P (cells are GridCellSize-sized
+  /// squares; two atoms within RydbergRadius always land in the same or
+  /// an 8-neighbouring cell).
+  uint64_t cellKey(Vec2 P) const;
+  void gridInsert(int Qubit, Vec2 P) const;
+  void gridErase(int Qubit, Vec2 P) const;
+  /// Marks \p Qubit's indexed position stale. A long shuttle cascade can
+  /// move the same atom many times between two Rydberg pulses; the dirty
+  /// mark defers the (hashing) grid update to the next cluster query, so
+  /// each moved atom re-indexes once per query instead of once per move.
+  void markMoved(int Qubit);
+  /// Re-indexes every dirty atom (erase at the last indexed position,
+  /// insert at the current one).
+  void syncGrid() const;
+
+  /// Validates one candidate cluster (shared by the grid and all-pairs
+  /// paths): 2..3 members, mutually within the radius, 3-atom clusters
+  /// equidistant. \p Members hold qubit ids in ascending order.
+  Status validateCluster(const std::vector<int> &Members) const;
+
+  /// Syncs the grid, recomputes the cluster decomposition into
+  /// ClusterCache and sets ClustersValid; the error status (if any) is
+  /// returned without materialising a result copy.
+  Status computeClusters() const;
+
+  size_t countAtomsSlow() const;
 
   HardwareParams Params;
   std::vector<Vec2> SlmTraps;
   std::vector<int> SlmOccupants; ///< qubit id or -1
   std::vector<double> ColumnX;
   std::vector<double> RowY;
-  std::map<std::pair<int, int>, int> AodOccupants; ///< (col,row) -> qubit
-  std::vector<AtomLocation> Locations;             ///< indexed by qubit id
+  /// Dense per-column / per-row occupant lists ((row, qubit) and
+  /// (col, qubit) pairs), sized at @aod initialisation. A shuttle touches
+  /// only the atoms riding the moved column/row. Column lists hold at
+  /// most one entry per row (a single row in the production geometry);
+  /// row lists hold one entry per occupied column, so row-side removal
+  /// goes through RowSlot (each AOD atom's index into its row list) for
+  /// an O(1) swap-pop — no tree maps or linear scans on the
+  /// per-instruction path.
+  std::vector<std::vector<std::pair<int, int>>> ColumnAtoms;
+  std::vector<std::vector<std::pair<int, int>>> RowAtoms;
+  std::vector<int> RowSlot; ///< per qubit, valid while the atom is on AOD
+  std::vector<AtomLocation> Locations; ///< indexed by qubit id
+  size_t BoundAtoms = 0;
+
+  double GridCellSize;
+  /// cell -> qubits. Mutable with its bookkeeping because the lazy sync
+  /// and memoisation run inside const queries.
+  mutable std::unordered_map<uint64_t, std::vector<int>> Grid;
+  mutable std::vector<Vec2> LastIndexedPos; ///< per qubit, while in Grid
+  mutable std::vector<char> MovedSinceSync; ///< per qubit dirty flag
+  mutable std::vector<int> MovedList;       ///< dirty qubits, no duplicates
+  mutable std::vector<RydbergCluster> ClusterCache;
+  mutable bool ClustersValid = false;
 };
 
 } // namespace fpqa

@@ -6,10 +6,10 @@
 
 #include "fpqa/PulseSchedule.h"
 
+#include "fpqa/BatchTracker.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
-#include <set>
 
 using namespace weaver;
 using namespace weaver::fpqa;
@@ -33,22 +33,23 @@ fpqa::schedulePulseProgram(const std::vector<Annotation> &Program,
   PulseSchedule Schedule;
   double Clock = 0;
 
-  // Open batch state, mirroring fpqa::analyzePulseProgram.
-  enum class BatchKind { None, Shuttle, Transfer };
-  BatchKind Batch = BatchKind::None;
-  std::set<std::pair<bool, int>> BatchAxes;
-  double BatchMaxDistance = 0;
+  // Open batch state: the shared BatchTracker (the same machine
+  // fpqa::analyzePulseProgram batches with) plus the schedule-only
+  // source/count bookkeeping.
+  BatchTracker Batches;
   size_t BatchCount = 0;
   std::vector<size_t> BatchSources;
 
   auto CloseBatch = [&]() {
-    if (Batch == BatchKind::None)
+    if (Batches.Batch == BatchTracker::Kind::None) {
+      Batches.reset();
       return;
+    }
     ScheduledPulse P;
     P.StartTime = Clock;
     P.SourceIndices = BatchSources;
-    if (Batch == BatchKind::Shuttle) {
-      P.Duration = BatchMaxDistance / Params.ShuttleSpeedUmPerSec;
+    if (Batches.Batch == BatchTracker::Kind::Shuttle) {
+      P.Duration = Batches.MaxDistance / Params.ShuttleSpeedUmPerSec;
       P.Description = BatchCount > 1
                           ? formatf("shuttle x%zu (parallel)", BatchCount)
                           : "shuttle";
@@ -60,9 +61,7 @@ fpqa::schedulePulseProgram(const std::vector<Annotation> &Program,
     }
     Clock += P.Duration;
     Schedule.Pulses.push_back(std::move(P));
-    Batch = BatchKind::None;
-    BatchAxes.clear();
-    BatchMaxDistance = 0;
+    Batches.reset();
     BatchCount = 0;
     BatchSources.clear();
   };
@@ -89,20 +88,20 @@ fpqa::schedulePulseProgram(const std::vector<Annotation> &Program,
       CloseBatch();
       break;
     case AnnotationKind::Shuttle: {
-      std::pair<bool, int> Axis{A.ShuttleRow, A.ShuttleIndex};
-      if (Batch != BatchKind::Shuttle || BatchAxes.count(Axis))
+      if (Batches.Batch != BatchTracker::Kind::Shuttle ||
+          Batches.axisSeen(A.ShuttleRow, A.ShuttleIndex))
         CloseBatch();
-      Batch = BatchKind::Shuttle;
-      BatchAxes.insert(Axis);
-      BatchMaxDistance = std::max(BatchMaxDistance, std::abs(A.Offset));
+      Batches.Batch = BatchTracker::Kind::Shuttle;
+      Batches.markAxis(A.ShuttleRow, A.ShuttleIndex);
+      Batches.MaxDistance = std::max(Batches.MaxDistance, std::abs(A.Offset));
       BatchCount++;
       BatchSources.push_back(I);
       break;
     }
     case AnnotationKind::Transfer:
-      if (Batch != BatchKind::Transfer)
+      if (Batches.Batch != BatchTracker::Kind::Transfer)
         CloseBatch();
-      Batch = BatchKind::Transfer;
+      Batches.Batch = BatchTracker::Kind::Transfer;
       BatchCount++;
       BatchSources.push_back(I);
       break;
@@ -114,11 +113,11 @@ fpqa::schedulePulseProgram(const std::vector<Annotation> &Program,
       Emit(Params.RamanGlobalTime, "raman global", I);
       break;
     case AnnotationKind::Rydberg: {
-      auto Clusters = Device.rydbergClusters();
+      auto Clusters = Device.rydbergClustersRef();
       if (!Clusters)
         return Expected<PulseSchedule>(Clusters.status());
       Emit(Params.RydbergTime,
-           formatf("rydberg (%zu clusters)", Clusters->size()), I);
+           formatf("rydberg (%zu clusters)", (*Clusters)->size()), I);
       break;
     }
     }

@@ -53,6 +53,69 @@ struct WqasmProgram {
   size_t numAnnotations() const;
 };
 
+/// Zero-copy forward range over every annotation of a program in execution
+/// order — each statement's annotations, then the trailing ones. This is
+/// the order the device executes the pulse stream in (§4.2); replay-style
+/// consumers iterate it directly instead of materialising a flattened
+/// copy of the stream.
+class AnnotationView {
+public:
+  explicit AnnotationView(const WqasmProgram &Program) : Program(&Program) {}
+
+  class Iterator {
+  public:
+    Iterator(const WqasmProgram *Program, size_t Segment, size_t Index)
+        : Program(Program), Segment(Segment), Index(Index) {
+      skipExhausted();
+    }
+
+    const Annotation &operator*() const { return segment(Segment)[Index]; }
+    const Annotation *operator->() const { return &**this; }
+
+    Iterator &operator++() {
+      ++Index;
+      skipExhausted();
+      return *this;
+    }
+
+    friend bool operator==(const Iterator &A, const Iterator &B) {
+      return A.Segment == B.Segment && A.Index == B.Index;
+    }
+    friend bool operator!=(const Iterator &A, const Iterator &B) {
+      return !(A == B);
+    }
+
+  private:
+    /// Segment \p S is statement S's annotation list; the one-past-last
+    /// segment is the trailing list.
+    const std::vector<Annotation> &segment(size_t S) const {
+      return S < Program->Statements.size()
+                 ? Program->Statements[S].Annotations
+                 : Program->TrailingAnnotations;
+    }
+    void skipExhausted() {
+      while (Segment <= Program->Statements.size() &&
+             Index >= segment(Segment).size()) {
+        ++Segment;
+        Index = 0;
+      }
+    }
+
+    const WqasmProgram *Program;
+    size_t Segment;
+    size_t Index;
+  };
+
+  Iterator begin() const { return Iterator(Program, 0, 0); }
+  Iterator end() const {
+    return Iterator(Program, Program->Statements.size() + 1, 0);
+  }
+  size_t size() const { return Program->numAnnotations(); }
+
+private:
+  const WqasmProgram *Program;
+};
+
 } // namespace qasm
 } // namespace weaver
 

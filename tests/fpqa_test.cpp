@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace weaver;
 using namespace weaver::fpqa;
 using qasm::Annotation;
@@ -208,6 +210,157 @@ TEST(Device, RydbergRejectsOversizedCluster) {
   EXPECT_FALSE(D.rydbergClusters().ok());
 }
 
+// --- Grid path vs. the retained all-pairs reference ---------------------
+
+namespace {
+
+/// Asserts that the spatial-grid cluster path and the all-pairs reference
+/// agree on the current device state: same verdict, same clusters in the
+/// same order, and the same diagnostic. NOTE: diagnostic equality only
+/// holds for states with at most ONE invalid cluster — with several, the
+/// two paths may report a different one first (min-member order vs.
+/// union-find-root order); don't call this on multi-failure states.
+void expectClustersMatchReference(const FpqaDevice &D) {
+  auto Grid = D.rydbergClusters();
+  auto Ref = D.rydbergClustersAllPairs();
+  ASSERT_EQ(Grid.ok(), Ref.ok()) << "grid: " << Grid.message()
+                                 << " reference: " << Ref.message();
+  if (!Grid.ok()) {
+    EXPECT_EQ(Grid.message(), Ref.message());
+    return;
+  }
+  ASSERT_EQ(Grid->size(), Ref->size());
+  for (size_t I = 0; I < Grid->size(); ++I)
+    EXPECT_EQ((*Grid)[I].Qubits, (*Ref)[I].Qubits) << "cluster " << I;
+  // The copy-free variant sees the same memoised decomposition.
+  auto Ptr = D.rydbergClustersRef();
+  ASSERT_TRUE(Ptr.ok());
+  ASSERT_EQ((*Ptr)->size(), Grid->size());
+  for (size_t I = 0; I < Grid->size(); ++I)
+    EXPECT_EQ((**Ptr)[I].Qubits, (*Grid)[I].Qubits) << "cluster " << I;
+}
+
+} // namespace
+
+TEST(Device, RydbergPairExactlyAtRadiusInteracts) {
+  // distance == RydbergRadius is inside the blockade (<=, not <).
+  HardwareParams P;
+  P.MinSlmSeparation = 2.0;
+  FpqaDevice D(P);
+  ASSERT_FALSE(
+      D.apply(Annotation::slm({{0, 0}, {P.RydbergRadius, 0}, {30, 0}})));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(0, 0)));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(1, 1)));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(2, 2)));
+  auto Clusters = D.rydbergClusters();
+  ASSERT_TRUE(Clusters.ok()) << Clusters.message();
+  ASSERT_EQ(Clusters->size(), 1u);
+  EXPECT_EQ((*Clusters)[0].Qubits, (std::vector<int>{0, 1}));
+  expectClustersMatchReference(D);
+}
+
+TEST(Device, RydbergTripleAtEquidistanceToleranceBoundary) {
+  // Isoceles triples straddling the tolerance: side difference just
+  // inside is accepted, just outside rejected, and the knife-edge case
+  // (difference == EquidistanceTolerance) must at least agree with the
+  // reference path bit for bit.
+  for (double Base : {2.149, 2.15, 2.151}) {
+    HardwareParams P;
+    P.MinSlmSeparation = 1.0;
+    FpqaDevice D(P);
+    double ApexX = Base / 2;
+    double ApexY = std::sqrt(4.0 - ApexX * ApexX); // equal 2.0-um sides
+    ASSERT_FALSE(
+        D.apply(Annotation::slm({{0, 0}, {Base, 0}, {ApexX, ApexY}})));
+    for (int Q = 0; Q < 3; ++Q)
+      ASSERT_FALSE(D.apply(Annotation::bindSlm(Q, Q)));
+    if (Base < 2.15) {
+      EXPECT_TRUE(D.rydbergClusters().ok()) << Base;
+    }
+    if (Base > 2.15) {
+      EXPECT_FALSE(D.rydbergClusters().ok()) << Base;
+    }
+    expectClustersMatchReference(D);
+  }
+}
+
+TEST(Device, RydbergChainSpanningGridCellBorders) {
+  // The chain spreads over three grid cells (cell size == RydbergRadius
+  // == 2.5): links of 2 um connect, ends at 4 um do not — an invalid
+  // chain, and the grid must find it across cell borders.
+  HardwareParams P;
+  P.MinSlmSeparation = 1.5;
+  FpqaDevice D(P);
+  ASSERT_FALSE(D.apply(Annotation::slm({{1, 0}, {3, 0}, {5, 0}})));
+  for (int Q = 0; Q < 3; ++Q)
+    ASSERT_FALSE(D.apply(Annotation::bindSlm(Q, Q)));
+  EXPECT_FALSE(D.rydbergClusters().ok());
+  expectClustersMatchReference(D);
+}
+
+TEST(Device, RydbergPairStraddlingCellBorderInteracts) {
+  // 2.4 um apart across the x = 2.5 cell boundary: neighbouring cells,
+  // still one pair.
+  HardwareParams P;
+  P.MinSlmSeparation = 2.0;
+  FpqaDevice D(P);
+  ASSERT_FALSE(D.apply(Annotation::slm({{2.4, 0}, {4.8, 0}})));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(0, 0)));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(1, 1)));
+  auto Clusters = D.rydbergClusters();
+  ASSERT_TRUE(Clusters.ok()) << Clusters.message();
+  ASSERT_EQ(Clusters->size(), 1u);
+  expectClustersMatchReference(D);
+}
+
+TEST(Device, RydbergClustersTrackIncrementalMovement) {
+  // Exercises the incrementally maintained index: atoms are shuttled and
+  // transferred across grid-cell borders, and after every step the grid
+  // path must agree with the all-pairs reference recomputed from scratch.
+  HardwareParams P;
+  FpqaDevice D(P);
+  ASSERT_FALSE(D.apply(Annotation::slm({{0, 0}, {6, 0}, {12, 0}, {18, 0}})));
+  ASSERT_FALSE(D.apply(Annotation::aod({-6.0, -2.0}, {2.0})));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(0, 0)));
+  ASSERT_FALSE(D.apply(Annotation::bindSlm(1, 1)));
+  ASSERT_FALSE(D.apply(Annotation::bindAod(2, 0, 0)));
+  ASSERT_FALSE(D.apply(Annotation::bindAod(3, 1, 0)));
+  expectClustersMatchReference(D);
+
+  // Walk the columns right in sub-cell hops; the pair structure changes
+  // as they pass over the SLM atoms.
+  for (int Step = 0; Step < 14; ++Step) {
+    ASSERT_FALSE(D.apply(Annotation::shuttle(/*Row=*/false, 1, 1.3)));
+    ASSERT_FALSE(D.apply(Annotation::shuttle(/*Row=*/false, 0, 1.3)));
+    expectClustersMatchReference(D);
+  }
+  // Lift the row away and back across a cell border.
+  ASSERT_FALSE(D.apply(Annotation::shuttle(/*Row=*/true, 0, 5.0)));
+  expectClustersMatchReference(D);
+  ASSERT_FALSE(D.apply(Annotation::shuttle(/*Row=*/true, 0, -5.0)));
+  expectClustersMatchReference(D);
+  // Transfer an atom between layers: column 0 now sits at x = 12.2, so
+  // SLM trap 2 at x = 12 is within transfer range. Compare again.
+  ASSERT_FALSE(D.apply(Annotation::transfer(2, 0, 0)));
+  expectClustersMatchReference(D);
+}
+
+TEST(Device, NumAtomsIsTrackedIncrementally) {
+  FpqaDevice D = makeLoadedDevice();
+  EXPECT_EQ(D.numAtoms(), 2u);
+  // Transfers move atoms between layers without changing the count.
+  ASSERT_FALSE(D.apply(Annotation::transfer(0, 0, 0)));
+  EXPECT_EQ(D.numAtoms(), 2u);
+  ASSERT_FALSE(D.apply(Annotation::transfer(0, 0, 0)));
+  EXPECT_EQ(D.numAtoms(), 2u);
+  // Binding adds one.
+  ASSERT_FALSE(D.apply(Annotation::bindAod(7, 1, 0)));
+  EXPECT_EQ(D.numAtoms(), 3u);
+  // A rejected bind leaves the count unchanged.
+  EXPECT_TRUE(static_cast<bool>(D.apply(Annotation::bindSlm(7, 2))));
+  EXPECT_EQ(D.numAtoms(), 3u);
+}
+
 // --- Pulse program analysis -----------------------------------------------
 
 TEST(Analysis, CountsAndDurations) {
@@ -267,6 +420,46 @@ TEST(Analysis, EpsAccumulatesGateErrors) {
 TEST(Analysis, RejectsInvalidProgram) {
   std::vector<Annotation> Program = {Annotation::shuttle(true, 0, 1.0)};
   EXPECT_FALSE(analyzePulseProgram(Program, HardwareParams()).ok());
+}
+
+TEST(Analysis, ZeroCopyProgramOverloadMatchesVectorOverload) {
+  // The same annotations spread over statements (some without any) plus a
+  // trailing block must replay identically through the zero-copy
+  // AnnotationView overload and the flat-vector overload.
+  HardwareParams P;
+  qasm::WqasmProgram Program;
+  Program.NumQubits = 2;
+  using circuit::Gate;
+  using circuit::GateKind;
+  Program.Statements.push_back(
+      {Gate(GateKind::H, {0}),
+       {Annotation::slm({{0, 0}, {6, 0}}), Annotation::aod({0.0}, {2.0}),
+        Annotation::bindSlm(0, 0), Annotation::bindSlm(1, 1),
+        Annotation::ramanGlobal(0.5, 0, 0)}});
+  Program.Statements.push_back({Gate(GateKind::H, {1}), {}});
+  Program.Statements.push_back(
+      {Gate(GateKind::X, {0}),
+       {Annotation::ramanLocal(0, 3.14159, 0, 0),
+        Annotation::transfer(0, 0, 0)}});
+  Program.TrailingAnnotations = {Annotation::shuttle(false, 0, 4.0),
+                                 Annotation::shuttle(true, 0, -2.0)};
+
+  std::vector<Annotation> Flat;
+  for (const Annotation &A : qasm::AnnotationView(Program))
+    Flat.push_back(A);
+  EXPECT_EQ(Flat.size(), Program.numAnnotations());
+
+  auto FromProgram = analyzePulseProgram(Program, P);
+  auto FromVector = analyzePulseProgram(Flat, P);
+  ASSERT_TRUE(FromProgram.ok()) << FromProgram.message();
+  ASSERT_TRUE(FromVector.ok()) << FromVector.message();
+  EXPECT_EQ(FromProgram->totalPulses(), FromVector->totalPulses());
+  EXPECT_EQ(FromProgram->ShuttleInstructions,
+            FromVector->ShuttleInstructions);
+  EXPECT_EQ(FromProgram->ShuttleBatches, FromVector->ShuttleBatches);
+  EXPECT_EQ(FromProgram->NumAtoms, FromVector->NumAtoms);
+  EXPECT_DOUBLE_EQ(FromProgram->Duration, FromVector->Duration);
+  EXPECT_DOUBLE_EQ(FromProgram->Eps, FromVector->Eps);
 }
 
 TEST(HardwareParams, CompressionProfitability) {

@@ -247,11 +247,20 @@ TEST(PassCache, BatchCompilerWorkersShareOneCache) {
     EXPECT_EQ(Reference[I].Eps, Cached[I].Eps) << I;
     EXPECT_EQ(Reference[I].Colors, Cached[I].Colors) << I;
   }
-  // Whatever the interleaving, every (formula, params) pair is compiled
-  // at most once per tier; the rest are hits.
+  // Whatever the interleaving, a (formula, params) pair is built at most
+  // once per worker (concurrent first touches may race before the first
+  // insert lands, so the exact hit count is scheduler-dependent)...
   PassCache::CacheStats S = Cache.stats();
   EXPECT_EQ(S.ProgramHits + S.ProgramMisses, Batch.size());
-  EXPECT_GE(S.ProgramHits, Batch.size() - 3 - (BOpt.NumThreads - 1));
+  EXPECT_LE(S.ProgramMisses, static_cast<uint64_t>(3 * BOpt.NumThreads));
+  // ...and once the entries exist, a second pass is deterministically
+  // pure hits.
+  std::vector<baselines::BaselineResult> Second =
+      BatchCompiler(CachedBackend, BOpt).compileAll(Batch);
+  ASSERT_EQ(Second.size(), Cached.size());
+  PassCache::CacheStats S2 = Cache.stats();
+  EXPECT_EQ(S2.ProgramMisses, S.ProgramMisses);
+  EXPECT_EQ(S2.ProgramHits, S.ProgramHits + Batch.size());
 }
 
 TEST(PassCache, ConcurrentCompilesStayByteIdentical) {

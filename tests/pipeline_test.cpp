@@ -341,6 +341,23 @@ TEST(PulseEmissionPass, FlattensStreamAndDerivesStats) {
   EXPECT_GT(Ctx.Stats.Eps, 0.0);
 }
 
+TEST(PulseEmissionPass, StreamIsNonOwningViewIntoProgram) {
+  CnfFormula F = paperExample();
+  CompilationContext Ctx;
+  Ctx.Formula = &F;
+  ASSERT_TRUE(PassManager::standardFpqaPipeline().run(Ctx).ok());
+  ASSERT_FALSE(Ctx.PulseStream.empty());
+  // Every stream element points into the program, in execution order —
+  // the annotations are never copied out of it.
+  size_t I = 0;
+  for (const qasm::Annotation &A : qasm::AnnotationView(Ctx.Program)) {
+    ASSERT_LT(I, Ctx.PulseStream.size());
+    EXPECT_EQ(Ctx.PulseStream[I], &A) << "stream index " << I;
+    ++I;
+  }
+  EXPECT_EQ(I, Ctx.PulseStream.size());
+}
+
 TEST(WeaverCompiler, ReportsPerPassTimings) {
   auto R = compileWeaver(paperExample());
   ASSERT_TRUE(R.ok()) << R.message();

@@ -258,3 +258,35 @@ TEST(Printer, WqasmRoundTripStable) {
   EXPECT_EQ(printWqasm(*Back), Text);
   EXPECT_EQ(Back->numAnnotations(), 3u);
 }
+
+TEST(AnnotationView, IteratesInExecutionOrderSkippingEmptyStatements) {
+  WqasmProgram P;
+  P.NumQubits = 2;
+  P.Statements.push_back({circuit::Gate(GateKind::H, {0}), {}});
+  P.Statements.push_back(
+      {circuit::Gate(GateKind::H, {1}),
+       {Annotation::shuttle(true, 0, 1.0), Annotation::rydberg()}});
+  P.Statements.push_back({circuit::Gate(GateKind::X, {0}), {}});
+  P.Statements.push_back({circuit::Gate(GateKind::X, {1}),
+                          {Annotation::ramanGlobal(1, 2, 3)}});
+  P.TrailingAnnotations = {Annotation::shuttle(false, 1, -2.0)};
+
+  AnnotationView View(P);
+  EXPECT_EQ(View.size(), P.numAnnotations());
+  std::vector<const Annotation *> Seen;
+  for (const Annotation &A : View)
+    Seen.push_back(&A);
+  ASSERT_EQ(Seen.size(), 4u);
+  // Zero-copy: the iterator yields the program's own annotation objects.
+  EXPECT_EQ(Seen[0], &P.Statements[1].Annotations[0]);
+  EXPECT_EQ(Seen[1], &P.Statements[1].Annotations[1]);
+  EXPECT_EQ(Seen[2], &P.Statements[3].Annotations[0]);
+  EXPECT_EQ(Seen[3], &P.TrailingAnnotations[0]);
+}
+
+TEST(AnnotationView, EmptyProgramYieldsNothing) {
+  WqasmProgram P;
+  AnnotationView View(P);
+  EXPECT_EQ(View.begin(), View.end());
+  EXPECT_EQ(View.size(), 0u);
+}

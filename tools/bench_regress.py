@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff two directories of google-benchmark JSON counters.
+
+Compares every benchmark (matched by file name + benchmark name) between a
+current bench-smoke directory and a baseline (the previous CI run's
+artifact, or the committed bench/baselines seed) and emits a GitHub
+warning annotation for every per-benchmark slowdown beyond the threshold.
+
+Exit code is always 0: smoke timings on shared CI runners are noisy, so
+regressions warn-annotate rather than fail the build.
+
+Usage:
+  tools/bench_regress.py --current build/bench-smoke \
+      --baseline prev-bench [--threshold 0.20]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: real_time in ns} for one JSON file."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench-regress: skipping unreadable {path}: {err}")
+        return {}
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate/BigO rows; compare raw iterations only.
+        if bench.get("run_type") and bench["run_type"] != "iteration":
+            continue
+        name = bench.get("name")
+        real = bench.get("real_time")
+        if name is not None and isinstance(real, (int, float)):
+            out[name] = float(real)
+    return out
+
+
+def collect(directory):
+    """Returns {file name: {benchmark name: real_time}} for BENCH_*.json."""
+    result = {}
+    if not os.path.isdir(directory):
+        return result
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            result[entry] = load_benchmarks(os.path.join(directory, entry))
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="directory with the reference BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative slowdown that triggers a warning "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    current = collect(args.current)
+    baseline = collect(args.baseline)
+    if not current:
+        print(f"bench-regress: no BENCH_*.json under {args.current}; "
+              "nothing to compare")
+        return 0
+    if not baseline:
+        print(f"bench-regress: no baseline under {args.baseline}; "
+              "skipping comparison")
+        return 0
+
+    # Benchmarks match primarily within the same-named file; a merged
+    # name->time map covers baselines stored under a different file name
+    # (e.g. the committed BENCH_backhalf.json seed).
+    merged = {}
+    for benches in baseline.values():
+        merged.update(benches)
+
+    compared = 0
+    slowdowns = []
+    for fname, benches in sorted(current.items()):
+        base = baseline.get(fname, {})
+        for name, real in sorted(benches.items()):
+            ref = base.get(name)
+            if ref is None:  # e.g. a benchmark added since the baseline run
+                ref = merged.get(name)
+            if ref is None or ref <= 0:
+                print(f"bench-regress: no baseline for {name}; skipping")
+                continue
+            compared += 1
+            ratio = real / ref
+            if ratio > 1.0 + args.threshold:
+                slowdowns.append((fname, name, ref, real, ratio))
+
+    for fname, name, ref, real, ratio in slowdowns:
+        # GitHub Actions warning annotation; plain text elsewhere.
+        print(f"::warning file={fname}::{name} slowed {ratio:.2f}x "
+              f"({ref / 1e6:.3f} ms -> {real / 1e6:.3f} ms)")
+    print(f"bench-regress: compared {compared} benchmarks, "
+          f"{len(slowdowns)} beyond the {args.threshold:.0%} threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
