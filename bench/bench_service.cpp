@@ -1,0 +1,164 @@
+//===- bench/bench_service.cpp - CompileService throughput/latency --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the async CompileService end to end: job throughput and tail
+/// latency (p50/p95/p99 from submit to resolution) across thread counts
+/// and queue depths, plus the dedup fast path (identical in-flight
+/// requests coalescing onto one compile). Prints a wall-clock table, then
+/// runs the google-benchmark registrations (counters land in the
+/// bench-smoke JSON for the CI regression diff).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/service/CompileService.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+using namespace weaver;
+using namespace weaver::core;
+
+namespace {
+
+constexpr int JobsPerRound = 32;
+constexpr int JobVariables = 20;
+
+/// A round of distinct uf20 jobs (distinct so dedup cannot short-circuit
+/// the throughput measurement).
+std::vector<CompileRequest> makeRound() {
+  std::vector<CompileRequest> Round;
+  for (int I = 1; I <= JobsPerRound; ++I) {
+    CompileRequest R;
+    R.Formula = sat::satlibInstance(JobVariables, I);
+    Round.push_back(std::move(R));
+  }
+  return Round;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Index = static_cast<size_t>(P * (Sorted.size() - 1));
+  return Sorted[Index];
+}
+
+/// Submits one round and returns the client-observed per-job latencies
+/// (submit to resolution) in seconds. Completion is tracked through the
+/// callbacks themselves (not handle waits): callbacks may fire after a
+/// wait() returns, so the latch must be on the last callback.
+std::vector<double> runRound(CompileService &Service,
+                             const std::vector<CompileRequest> &Round) {
+  std::mutex M;
+  std::condition_variable AllDone;
+  size_t Done = 0;
+  std::vector<double> Latencies(Round.size(), 0);
+  for (size_t I = 0; I < Round.size(); ++I) {
+    auto Submitted = std::chrono::steady_clock::now();
+    Service.submit(Round[I], [&, I, Submitted](const JobOutcome &) {
+      double Latency = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Submitted)
+                           .count();
+      std::lock_guard<std::mutex> Lock(M);
+      Latencies[I] = Latency;
+      if (++Done == Latencies.size())
+        AllDone.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> Lock(M);
+  AllDone.wait(Lock, [&]() { return Done == Latencies.size(); });
+  std::sort(Latencies.begin(), Latencies.end());
+  return Latencies;
+}
+
+void BM_ServiceThroughput(benchmark::State &State) {
+  ServiceOptions Opt;
+  Opt.NumThreads = static_cast<int>(State.range(0));
+  Opt.QueueCapacity = static_cast<size_t>(State.range(1));
+  CompileService Service(Opt);
+  // The PassCache has no effect across distinct formulas at one parameter
+  // point beyond the first iteration's warm-up; leave it on, as a real
+  // deployment would.
+  std::vector<CompileRequest> Round = makeRound();
+  std::vector<double> Last;
+  for (auto _ : State)
+    Last = runRound(Service, Round);
+  State.SetItemsProcessed(State.iterations() * JobsPerRound);
+  State.counters["p50_ms"] = percentile(Last, 0.50) * 1e3;
+  State.counters["p95_ms"] = percentile(Last, 0.95) * 1e3;
+  State.counters["p99_ms"] = percentile(Last, 0.99) * 1e3;
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Args({1, 8})
+    ->Args({1, 64})
+    ->Args({2, 8})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->UseRealTime();
+
+void BM_ServiceDedup(benchmark::State &State) {
+  // All submissions in a wave are identical: one compiles, the rest
+  // coalesce onto it — the service-side analogue of a cache hit.
+  ServiceOptions Opt;
+  Opt.NumThreads = 2;
+  CompileService Service(Opt);
+  CompileRequest R;
+  R.Formula = sat::satlibInstance(JobVariables, 1);
+  for (auto _ : State) {
+    std::vector<CompileService::JobHandle> Handles;
+    for (int I = 0; I < JobsPerRound; ++I)
+      Handles.push_back(Service.submit(R));
+    for (CompileService::JobHandle &H : Handles)
+      H.wait();
+  }
+  State.SetItemsProcessed(State.iterations() * JobsPerRound);
+  CompileService::ServiceStats S = Service.stats();
+  State.counters["coalesced"] =
+      static_cast<double>(S.Coalesced) / std::max<uint64_t>(1, S.Submitted);
+}
+BENCHMARK(BM_ServiceDedup)->UseRealTime();
+
+void printTable() {
+  std::vector<CompileRequest> Round = makeRound();
+  Table T({"threads", "queue", "wall [s]", "jobs/s", "p50 [ms]", "p95 [ms]",
+           "p99 [ms]"});
+  for (int Threads : {1, 2, 4}) {
+    for (size_t Depth : {size_t{8}, size_t{64}}) {
+      ServiceOptions Opt;
+      Opt.NumThreads = Threads;
+      Opt.QueueCapacity = Depth;
+      CompileService Service(Opt);
+      runRound(Service, Round); // warm-up: populate the cache
+      auto Start = std::chrono::steady_clock::now();
+      std::vector<double> Latencies = runRound(Service, Round);
+      double Wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+      T.addRow({std::to_string(Threads), std::to_string(Depth),
+                formatf("%.3f", Wall), formatf("%.0f", JobsPerRound / Wall),
+                formatf("%.2f", percentile(Latencies, 0.50) * 1e3),
+                formatf("%.2f", percentile(Latencies, 0.95) * 1e3),
+                formatf("%.2f", percentile(Latencies, 0.99) * 1e3)});
+    }
+  }
+  std::printf("== CompileService: %d x uf%d jobs per round ==\n%s\n",
+              JobsPerRound, JobVariables, T.render().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (weaver::bench::tablesEnabled())
+    printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

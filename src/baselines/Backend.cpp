@@ -6,8 +6,53 @@
 
 #include "baselines/Backend.h"
 
+#include "qasm/Printer.h"
+
 using namespace weaver;
 using namespace weaver::baselines;
+
+CompileOutput Backend::compileFull(const sat::CnfFormula &Formula,
+                                   const qaoa::QaoaParams &Qaoa,
+                                   const CancelToken *Cancel) const {
+  CompileOutput Out;
+  // Baselines have no between-pass checkpoints; honour the token at the
+  // only safe point — before the compile starts.
+  if (Cancel && Cancel->checkpoint()) {
+    Out.Cancelled = true;
+    Out.Metrics.Compiler = name();
+    Out.Metrics.Unsupported = true;
+    Out.Metrics.Diagnostic = CancelledDiagnostic;
+    return Out;
+  }
+  Out.Metrics = compile(Formula, Qaoa);
+  return Out;
+}
+
+CompileOutput WeaverBackend::compileFull(const sat::CnfFormula &Formula,
+                                         const qaoa::QaoaParams &Qaoa,
+                                         const CancelToken *Cancel) const {
+  core::WeaverOptions Opt = Options;
+  Opt.Qaoa = Qaoa;
+  Opt.Cancel = Cancel;
+  CompileOutput Out;
+  auto W = core::compileWeaver(Formula, Opt);
+  if (!W) {
+    Out.Metrics.Compiler = name();
+    if (isCancelledStatus(W.status())) {
+      Out.Cancelled = true;
+      Out.Metrics.Diagnostic = CancelledDiagnostic;
+    } else {
+      Out.Metrics.Unsupported = true;
+      Out.Metrics.Diagnostic = W.message();
+    }
+    return Out;
+  }
+  Out.Metrics = toBaselineResult(*W);
+  Out.Wqasm = qasm::printWqasm(W->Program);
+  Out.FrontHalfFromCache = W->FrontHalfFromCache;
+  Out.ProgramFromCache = W->ProgramFromCache;
+  return Out;
+}
 
 const char *baselines::backendKindName(BackendKind Kind) {
   switch (Kind) {
@@ -41,13 +86,19 @@ std::unique_ptr<Backend> baselines::createBackend(BackendKind Kind) {
   return nullptr;
 }
 
-Expected<std::unique_ptr<Backend>>
-baselines::createBackend(const std::string &Name) {
+Expected<BackendKind> baselines::backendKindFromName(const std::string &Name) {
   for (BackendKind Kind : AllBackendKinds)
     if (Name == backendKindName(Kind))
-      return createBackend(Kind);
-  return Expected<std::unique_ptr<Backend>>::error("unknown backend '" +
-                                                   Name + "'");
+      return Kind;
+  return Expected<BackendKind>::error("unknown backend '" + Name + "'");
+}
+
+Expected<std::unique_ptr<Backend>>
+baselines::createBackend(const std::string &Name) {
+  Expected<BackendKind> Kind = backendKindFromName(Name);
+  if (!Kind)
+    return Expected<std::unique_ptr<Backend>>(Kind.status());
+  return createBackend(*Kind);
 }
 
 BaselineResult baselines::toBaselineResult(const core::WeaverResult &W) {

@@ -25,6 +25,7 @@
 #include "core/WeaverCompiler.h"
 #include "qaoa/Builder.h"
 #include "sat/Cnf.h"
+#include "support/CancelToken.h"
 #include "support/Status.h"
 
 #include <memory>
@@ -33,6 +34,21 @@
 
 namespace weaver {
 namespace baselines {
+
+/// The full artefact of one compile, as served by the CompileService:
+/// uniform metrics, the emitted wQASM text for backends that produce one
+/// (only Weaver today), and the cache/cancellation disposition.
+struct CompileOutput {
+  BaselineResult Metrics;
+  /// Printed wQASM program; empty for backends without a pulse-level
+  /// output format.
+  std::string Wqasm;
+  /// The compile observed its CancelToken and aborted between passes.
+  bool Cancelled = false;
+  /// PassCache tier diagnostics (Weaver only; see WeaverResult).
+  bool FrontHalfFromCache = false;
+  bool ProgramFromCache = false;
+};
 
 /// A compiler backend: formula + QAOA parameters in, uniform metrics out.
 /// Implementations must be safe to call concurrently from multiple
@@ -49,6 +65,16 @@ public:
   /// crashing.
   virtual BaselineResult compile(const sat::CnfFormula &Formula,
                                  const qaoa::QaoaParams &Qaoa) const = 0;
+
+  /// Compiles and additionally returns the printed program plus the
+  /// cancellation/cache disposition — the entry point the CompileService
+  /// uses. The default forwards to compile() and supports cancellation
+  /// only before the compile starts; WeaverBackend overrides it to thread
+  /// \p Cancel through the pass pipeline (aborting between passes) and to
+  /// print the emitted wQASM.
+  virtual CompileOutput compileFull(const sat::CnfFormula &Formula,
+                                    const qaoa::QaoaParams &Qaoa,
+                                    const CancelToken *Cancel = nullptr) const;
 };
 
 /// The five compilers of the paper's evaluation, in its plot order.
@@ -60,6 +86,9 @@ inline constexpr BackendKind AllBackendKinds[] = {
 
 /// Returns the stable name of \p Kind ("superconducting", ...).
 const char *backendKindName(BackendKind Kind);
+
+/// Resolves a stable name back to its kind; fails on unknown names.
+Expected<BackendKind> backendKindFromName(const std::string &Name);
 
 /// Constructs the backend for \p Kind with default parameters.
 std::unique_ptr<Backend> createBackend(BackendKind Kind);
@@ -104,6 +133,9 @@ public:
   std::string name() const override { return "weaver"; }
   BaselineResult compile(const sat::CnfFormula &Formula,
                          const qaoa::QaoaParams &Qaoa) const override;
+  CompileOutput compileFull(const sat::CnfFormula &Formula,
+                            const qaoa::QaoaParams &Qaoa,
+                            const CancelToken *Cancel = nullptr) const override;
 
 private:
   core::WeaverOptions Options;

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 using namespace weaver;
@@ -18,9 +20,12 @@ BatchCompiler::BatchCompiler(const baselines::Backend &BackendImpl,
     : BackendImpl(BackendImpl), Options(Options) {}
 
 int BatchCompiler::effectiveThreads(size_t BatchSize) const {
-  int Threads = Options.NumThreads > 0
-                    ? Options.NumThreads
-                    : static_cast<int>(std::thread::hardware_concurrency());
+  int Threads = Options.Pool
+                    ? Options.Pool->numThreads()
+                    : (Options.NumThreads > 0
+                           ? Options.NumThreads
+                           : static_cast<int>(
+                                 std::thread::hardware_concurrency()));
   Threads = std::max(1, Threads);
   return static_cast<int>(
       std::min<size_t>(static_cast<size_t>(Threads), BatchSize));
@@ -31,6 +36,34 @@ std::vector<baselines::BaselineResult> BatchCompiler::compileAll(
   std::vector<baselines::BaselineResult> Results(Formulas.size());
   if (Formulas.empty())
     return Results;
+
+  if (Options.Pool) {
+    // Shared-pool path: one task per batch slot, completion tracked by a
+    // counter + condvar latch. Posting can block on a bounded queue, so
+    // tasks already posted make progress while we enqueue the rest.
+    std::mutex M;
+    std::condition_variable Done;
+    size_t Remaining = Formulas.size();
+    for (size_t I = 0; I < Formulas.size(); ++I) {
+      bool Posted = Options.Pool->post([&, I]() {
+        Results[I] = BackendImpl.compile(Formulas[I], Options.Qaoa);
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Remaining == 0)
+          Done.notify_all();
+      });
+      if (!Posted) {
+        // Pool shut down mid-batch: run the remainder inline so every
+        // slot still gets a result.
+        Results[I] = BackendImpl.compile(Formulas[I], Options.Qaoa);
+        std::lock_guard<std::mutex> Lock(M);
+        if (--Remaining == 0)
+          Done.notify_all();
+      }
+    }
+    std::unique_lock<std::mutex> Lock(M);
+    Done.wait(Lock, [&]() { return Remaining == 0; });
+    return Results;
+  }
 
   int Threads = effectiveThreads(Formulas.size());
   if (Threads == 1) {

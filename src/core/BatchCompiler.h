@@ -25,6 +25,7 @@
 #define WEAVER_CORE_BATCHCOMPILER_H
 
 #include "baselines/Backend.h"
+#include "core/WorkerPool.h"
 #include "qaoa/Builder.h"
 #include "sat/Cnf.h"
 
@@ -36,10 +37,17 @@ namespace core {
 /// Batch driver configuration.
 struct BatchOptions {
   /// Worker threads; 0 selects std::thread::hardware_concurrency(). The
-  /// pool never exceeds the batch size.
+  /// pool never exceeds the batch size. Ignored when Pool is set.
   int NumThreads = 0;
   /// QAOA parameters applied to every instance of the batch.
   qaoa::QaoaParams Qaoa;
+  /// Optional shared WorkerPool (not owned; must outlive the compiler).
+  /// When set, compileAll posts its per-formula tasks there instead of
+  /// spawning transient threads — the same pool a CompileService runs its
+  /// jobs on, so batch and service work interleave under one scheduler.
+  /// Must not be used from within a task of that pool (a bounded queue
+  /// could deadlock).
+  WorkerPool *Pool = nullptr;
 };
 
 /// Compiles formula batches through a backend with a worker pool.

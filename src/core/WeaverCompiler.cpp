@@ -35,6 +35,7 @@ Expected<WeaverResult> core::compileWeaver(const sat::CnfFormula &Formula,
   Ctx.Hw = Options.Hw;
   Ctx.UseDSatur = Options.UseDSatur;
   Ctx.Cache = Options.Cache;
+  Ctx.Cancel = Options.Cancel;
   Ctx.Options.Geometry = Options.Geometry;
   Ctx.Options.Qaoa = Options.Qaoa;
   Ctx.Options.UseCompression = Result.CompressionUsed;

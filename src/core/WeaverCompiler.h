@@ -56,6 +56,12 @@ struct WeaverOptions {
   /// identical with the cache on or off. Safe to share between threads
   /// (the cache is internally mutex-guarded); see pipeline/PassCache.h.
   pipeline::PassCache *Cache = nullptr;
+
+  /// Optional cooperative cancellation (not owned; must outlive the
+  /// compile). The pipeline checks the token between passes; a cancelled
+  /// compile returns a Status recognised by isCancelledStatus() and
+  /// publishes nothing into the cache. See support/CancelToken.h.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// Everything the pipeline produces.

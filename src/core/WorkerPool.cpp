@@ -1,0 +1,87 @@
+//===- core/WorkerPool.cpp - Persistent priority worker pool --------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WorkerPool.h"
+
+#include <algorithm>
+
+using namespace weaver;
+using namespace weaver::core;
+
+WorkerPool::WorkerPool(PoolOptions Options) : Capacity(Options.QueueCapacity) {
+  int Threads = Options.NumThreads > 0
+                    ? Options.NumThreads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  Threads = std::max(1, Threads);
+  NumWorkers = Threads;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([this]() { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool() { shutdown(/*Drain=*/true); }
+
+bool WorkerPool::post(std::function<void()> Task, int Priority) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  NotFull.wait(Lock, [this]() {
+    return Stopping || Capacity == 0 || Queue.size() < Capacity;
+  });
+  if (Stopping)
+    return false;
+  Queue.push(Item{Priority, NextSeq++, std::move(Task)});
+  NotEmpty.notify_one();
+  return true;
+}
+
+void WorkerPool::shutdown(bool Drain) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping && Workers.empty())
+      return;
+    Stopping = true;
+    if (!Drain)
+      Discarding = true;
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+  std::vector<std::thread> ToJoin;
+  {
+    // Swap out under the lock so concurrent shutdown() calls never join
+    // the same thread twice.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ToJoin.swap(Workers);
+  }
+  for (std::thread &T : ToJoin)
+    T.join();
+  if (!Drain) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    while (!Queue.empty())
+      Queue.pop();
+  }
+}
+
+size_t WorkerPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+void WorkerPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      NotEmpty.wait(Lock, [this]() { return Stopping || !Queue.empty(); });
+      if (Discarding || (Stopping && Queue.empty()))
+        return;
+      // priority_queue::top is const; moving the task out right before
+      // pop() is safe because nothing else can observe the element.
+      Task = std::move(const_cast<Item &>(Queue.top()).Task);
+      Queue.pop();
+      NotFull.notify_one();
+    }
+    Task();
+  }
+}

@@ -24,6 +24,7 @@
 #include "fpqa/HardwareParams.h"
 #include "qasm/Program.h"
 #include "sat/Cnf.h"
+#include "support/CancelToken.h"
 
 #include <cstdint>
 #include <map>
@@ -120,6 +121,10 @@ struct CompilationContext {
   /// same formula/geometry (parameter sweeps). Not owned; must outlive the
   /// pipeline run. Ignored when the driver supplied a colouring.
   PassCache *Cache = nullptr;
+  /// Optional cooperative cancellation token (not owned). PassManager::run
+  /// checks it between passes and aborts with a CancelledDiagnostic status;
+  /// a cancelled run inserts nothing into the PassCache.
+  const CancelToken *Cancel = nullptr;
 
   // --- ClauseColoringPass -----------------------------------------------
   ClauseColoring Coloring;

@@ -49,6 +49,13 @@ Status PassManager::run(CompilationContext &Ctx) const {
 
   PassCacheEntryBuilder Builder;
   for (const std::unique_ptr<Pass> &P : Passes) {
+    // Cooperative cancellation: the window between two passes is the only
+    // point where aborting cannot leave a half-built section behind. A
+    // cancelled run returns before the cache insertions below, so it can
+    // never publish partial entries.
+    if (Ctx.Cancel && Ctx.Cancel->checkpoint())
+      return Status::error(std::string(CancelledDiagnostic) + " before " +
+                           P->name());
     auto Start = std::chrono::steady_clock::now();
     bool Restored =
         (Hit.Front || Hit.Back) && P->restoreSections(Hit, Ctx);

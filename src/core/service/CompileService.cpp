@@ -1,0 +1,533 @@
+//===- core/service/CompileService.cpp - Async compile service ------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lock order: the service mutex may be taken before a job mutex (submit's
+// coalesce path); never the reverse while holding the job lock. resolveJob
+// and the cancellation paths therefore release the job lock before touching
+// the service maps. Pool.post is never called under the service mutex: a
+// full bounded queue blocks the poster, and the workers that would free it
+// need the service mutex to resolve their jobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/service/CompileService.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+
+using namespace weaver;
+using namespace weaver::core;
+
+const char *core::jobStateName(JobState State) {
+  switch (State) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Completed:
+    return "completed";
+  case JobState::Cancelled:
+    return "cancelled";
+  case JobState::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+const char *core::cacheTierName(CacheTier Tier) {
+  switch (Tier) {
+  case CacheTier::None:
+    return "none";
+  case CacheTier::Front:
+    return "front";
+  case CacheTier::Program:
+    return "program";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+/// Shared state of one submitted job. State/Resolved/Outcome/Waiters/
+/// CancelVotes/Callbacks are guarded by M; Id/Request/Key/EnqueueTime are
+/// immutable after submit; InDedupIndex is guarded by the service mutex;
+/// the CancelToken is internally atomic.
+struct CompileService::Job {
+  uint64_t Id = 0;
+  CompileRequest Request;
+  JobKey Key;
+  CancelToken Cancel;
+  std::chrono::steady_clock::time_point EnqueueTime;
+  bool InDedupIndex = false; ///< guarded by the service mutex
+
+  std::mutex M;
+  std::condition_variable CV;
+  JobState State = JobState::Queued;
+  bool Started = false;         ///< the worker began the backend compile
+  bool CancelRequested = false; ///< all waiters voted; token is set
+  /// Exactly-once guard: the first resolver claims the job, updates the
+  /// service counters, and only then publishes Resolved — so by the time
+  /// any wait() returns, stats() already reflects the job.
+  bool ResolutionClaimed = false;
+  bool Resolved = false;
+  int Waiters = 1;    ///< handles attached (1 + coalesced submits)
+  int CancelVotes = 0;
+  JobOutcome Outcome;
+  std::vector<Callback> Callbacks;
+};
+
+// --- JobHandle -----------------------------------------------------------
+
+uint64_t CompileService::JobHandle::id() const { return J ? J->Id : 0; }
+
+JobState CompileService::JobHandle::state() const {
+  if (!J)
+    return JobState::Failed;
+  std::lock_guard<std::mutex> Lock(J->M);
+  return J->State;
+}
+
+JobOutcome CompileService::JobHandle::wait() const {
+  if (!J) {
+    JobOutcome Out;
+    Out.State = JobState::Failed;
+    Out.Diagnostic = "invalid job handle";
+    return Out;
+  }
+  std::unique_lock<std::mutex> Lock(J->M);
+  J->CV.wait(Lock, [this]() { return J->Resolved; });
+  JobOutcome Out = J->Outcome;
+  Out.Coalesced = WasCoalesced;
+  return Out;
+}
+
+bool CompileService::JobHandle::waitFor(double Seconds,
+                                        JobOutcome &Out) const {
+  if (!J) {
+    Out.State = JobState::Failed;
+    Out.Diagnostic = "invalid job handle";
+    return true;
+  }
+  std::unique_lock<std::mutex> Lock(J->M);
+  if (!J->CV.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                      [this]() { return J->Resolved; }))
+    return false;
+  Out = J->Outcome;
+  Out.Coalesced = WasCoalesced;
+  return true;
+}
+
+void CompileService::JobHandle::cancel() const {
+  if (J && Svc)
+    Svc->voteCancel(J, *Voted);
+}
+
+// --- Construction / teardown ---------------------------------------------
+
+CompileService::CompileService(ServiceOptions Opts)
+    : Options(Opts),
+      Pool(PoolOptions{Opts.NumThreads, Opts.QueueCapacity}) {
+  if (Options.Cache) {
+    ActiveCache = Options.Cache;
+  } else if (Options.UseCache) {
+    OwnedCache = std::make_unique<pipeline::PassCache>();
+    ActiveCache = OwnedCache.get();
+  }
+  for (size_t I = 0; I < std::size(baselines::AllBackendKinds); ++I) {
+    baselines::BackendKind Kind = baselines::AllBackendKinds[I];
+    if (Kind == baselines::BackendKind::Weaver) {
+      // The service's Weaver path compiles through the shared PassCache;
+      // everything else comes from the registry with default knobs.
+      WeaverOptions WOpt;
+      WOpt.Cache = ActiveCache;
+      Backends[I] = std::make_unique<baselines::WeaverBackend>(WOpt);
+    } else {
+      Backends[I] = baselines::createBackend(Kind);
+    }
+  }
+}
+
+CompileService::~CompileService() { shutdown(/*Drain=*/true); }
+
+const baselines::Backend &
+CompileService::backendFor(baselines::BackendKind Kind) const {
+  return *Backends[static_cast<size_t>(Kind)];
+}
+
+// --- Job identity --------------------------------------------------------
+
+CompileService::JobKey CompileService::makeKey(const CompileRequest &Request) {
+  JobKey K;
+  auto AddWord = [&K](uint64_t W) { K.Words.push_back(W); };
+  auto AddDouble = [&AddWord](double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    AddWord(Bits);
+  };
+  const sat::CnfFormula &F = Request.Formula;
+  AddWord(static_cast<uint64_t>(F.numVariables()));
+  AddWord(static_cast<uint64_t>(F.numClauses()));
+  for (const sat::Clause &C : F.clauses()) {
+    for (sat::Literal L : C)
+      AddWord(static_cast<uint64_t>(static_cast<int64_t>(L.dimacs())));
+    AddWord(uint64_t{0}); // clause terminator
+  }
+  AddWord(static_cast<uint64_t>(Request.Kind));
+  AddWord(static_cast<uint64_t>(Request.Qaoa.Layers));
+  AddWord(static_cast<uint64_t>(Request.Qaoa.Measure));
+  AddWord(static_cast<uint64_t>(Request.Qaoa.UseCompressedClauses));
+  AddDouble(Request.Qaoa.Gamma);
+  AddDouble(Request.Qaoa.Beta);
+  // A self-cancel-armed request is a different job than a plain one: it
+  // must neither hand its arming to an innocent waiter nor lose it by
+  // joining an unarmed in-flight compile.
+  AddWord(static_cast<uint64_t>(Request.CancelAtCheckpoint));
+  // FNV-1a over the payload; lookups still compare the words exactly.
+  uint64_t H = 1469598103934665603ull;
+  for (uint64_t W : K.Words)
+    for (int B = 0; B < 8; ++B) {
+      H ^= (W >> (8 * B)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  K.Hash = H;
+  return K;
+}
+
+// --- Submission ----------------------------------------------------------
+
+CompileService::JobHandle CompileService::submit(CompileRequest Request,
+                                                 Callback Cb) {
+  auto Now = std::chrono::steady_clock::now();
+  JobKey Key;
+  if (Options.Deduplicate)
+    Key = makeKey(Request);
+
+  std::shared_ptr<Job> J;
+  bool Coalesced = false;
+  bool Rejected = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counts.Submitted;
+    if (ShuttingDown)
+      Rejected = true;
+    else if (Options.Deduplicate) {
+      auto It = InFlight.find(Key.Hash);
+      if (It != InFlight.end())
+        for (std::pair<JobKey, std::shared_ptr<Job>> &Entry : It->second)
+          if (Entry.first == Key) {
+            // Attach under the job lock (service -> job lock order). A
+            // job that resolved or is being cancelled is not joinable;
+            // fall through to a fresh compile.
+            std::lock_guard<std::mutex> JLock(Entry.second->M);
+            if (!Entry.second->ResolutionClaimed &&
+                !Entry.second->CancelRequested) {
+              J = Entry.second;
+              ++J->Waiters;
+              if (Cb)
+                J->Callbacks.push_back(std::move(Cb));
+              Coalesced = true;
+              ++Counts.Coalesced;
+            }
+            break;
+          }
+    }
+    if (!J) {
+      J = std::make_shared<Job>();
+      J->Id = NextJobId++;
+      J->Request = std::move(Request);
+      J->Key = std::move(Key);
+      J->EnqueueTime = Now;
+      if (J->Request.CancelAtCheckpoint > 0)
+        J->Cancel.cancelAtCheckpoint(J->Request.CancelAtCheckpoint);
+      if (Cb)
+        J->Callbacks.push_back(std::move(Cb));
+      if (!Rejected) {
+        Live.emplace(J->Id, J);
+        if (Options.Deduplicate) {
+          InFlight[J->Key.Hash].push_back({J->Key, J});
+          J->InDedupIndex = true;
+        }
+      }
+    }
+  }
+
+  if (Coalesced)
+    return JobHandle(std::move(J), /*Coalesced=*/true, this);
+
+  if (Rejected) {
+    JobOutcome Out;
+    Out.State = JobState::Failed;
+    Out.Diagnostic = "service is shut down";
+    resolveJob(J, std::move(Out));
+    return JobHandle(std::move(J), /*Coalesced=*/false, this);
+  }
+
+  // Outside the service mutex: a bounded pool queue may block here, and
+  // the workers that drain it take the service mutex to resolve.
+  bool Posted =
+      Pool.post([this, J]() { runJob(J); }, J->Request.Priority);
+  if (!Posted) {
+    JobOutcome Out;
+    Out.State = JobState::Failed;
+    Out.Diagnostic = "service is shut down";
+    Out.QueueSeconds = secondsSince(J->EnqueueTime);
+    resolveJob(J, std::move(Out));
+  }
+  return JobHandle(std::move(J), /*Coalesced=*/false, this);
+}
+
+// --- Execution -----------------------------------------------------------
+
+void CompileService::runJob(const std::shared_ptr<Job> &J) {
+  double QueueSeconds = secondsSince(J->EnqueueTime);
+  bool CancelledInQueue = false;
+  {
+    std::lock_guard<std::mutex> Lock(J->M);
+    if (J->ResolutionClaimed)
+      return; // cancelled (or rejected) before dequeue
+    if (J->CancelRequested) {
+      CancelledInQueue = true;
+    } else {
+      J->Started = true;
+      J->State = JobState::Running;
+    }
+  }
+  if (CancelledInQueue) {
+    // Cancellation won the race to the queue; the voter may be resolving
+    // the job concurrently — resolveJob keeps it exactly-once.
+    JobOutcome Out;
+    Out.State = JobState::Cancelled;
+    Out.Diagnostic = CancelledDiagnostic;
+    Out.QueueSeconds = QueueSeconds;
+    resolveJob(J, std::move(Out));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counts.CompilesStarted;
+  }
+  const baselines::Backend &B = backendFor(J->Request.Kind);
+  auto Start = std::chrono::steady_clock::now();
+  baselines::CompileOutput Result =
+      B.compileFull(J->Request.Formula, J->Request.Qaoa, &J->Cancel);
+  double CompileSeconds = secondsSince(Start);
+
+  JobOutcome Out;
+  // Infeasible compiles (backend TimedOut/Unsupported, malformed input)
+  // are terminal failures, not completions: Completed promises usable
+  // metrics and (for Weaver) a program.
+  Out.State = Result.Cancelled
+                  ? JobState::Cancelled
+                  : (Result.Metrics.usable() ? JobState::Completed
+                                             : JobState::Failed);
+  Out.Metrics = std::move(Result.Metrics);
+  Out.Wqasm = std::move(Result.Wqasm);
+  if (Result.Cancelled)
+    Out.Diagnostic = CancelledDiagnostic;
+  else if (Out.State == JobState::Failed)
+    Out.Diagnostic = Out.Metrics.Diagnostic.empty()
+                         ? "backend reported the instance infeasible"
+                         : Out.Metrics.Diagnostic;
+  Out.QueueSeconds = QueueSeconds;
+  Out.CompileSeconds = CompileSeconds;
+  Out.Tier = Result.ProgramFromCache
+                 ? CacheTier::Program
+                 : (Result.FrontHalfFromCache ? CacheTier::Front
+                                              : CacheTier::None);
+  resolveJob(J, std::move(Out));
+}
+
+bool CompileService::resolveJob(const std::shared_ptr<Job> &J,
+                                JobOutcome Outcome) {
+  {
+    std::lock_guard<std::mutex> Lock(J->M);
+    if (J->ResolutionClaimed)
+      return false;
+    J->ResolutionClaimed = true;
+    Outcome.JobId = J->Id;
+    J->Outcome = std::move(Outcome);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (J->InDedupIndex)
+      removeFromDedupLocked(J);
+    Live.erase(J->Id);
+    switch (J->Outcome.State) {
+    case JobState::Completed:
+      ++Counts.Completed;
+      break;
+    case JobState::Cancelled:
+      ++Counts.Cancelled;
+      break;
+    default:
+      ++Counts.Failed;
+      break;
+    }
+    Counts.TotalQueueSeconds += J->Outcome.QueueSeconds;
+    Counts.MaxQueueSeconds =
+        std::max(Counts.MaxQueueSeconds, J->Outcome.QueueSeconds);
+    Counts.TotalCompileSeconds += J->Outcome.CompileSeconds;
+    if (J->Outcome.Tier == CacheTier::Program)
+      ++Counts.ProgramTierHits;
+    else if (J->Outcome.Tier == CacheTier::Front)
+      ++Counts.FrontTierHits;
+  }
+  std::vector<Callback> Callbacks;
+  {
+    std::lock_guard<std::mutex> Lock(J->M);
+    J->State = J->Outcome.State;
+    J->Resolved = true;
+    Callbacks.swap(J->Callbacks);
+    J->CV.notify_all();
+  }
+  // Outcome is immutable once claimed; reading it outside the lock only
+  // races other readers. Callbacks run without any lock held.
+  for (Callback &Cb : Callbacks)
+    Cb(J->Outcome);
+  return true;
+}
+
+void CompileService::removeFromDedupLocked(const std::shared_ptr<Job> &J) {
+  auto It = InFlight.find(J->Key.Hash);
+  if (It != InFlight.end()) {
+    auto &Bucket = It->second;
+    for (size_t I = 0; I < Bucket.size(); ++I)
+      if (Bucket[I].second == J) {
+        Bucket.erase(Bucket.begin() + I);
+        break;
+      }
+    if (Bucket.empty())
+      InFlight.erase(It);
+  }
+  J->InDedupIndex = false;
+}
+
+// --- Cancellation / shutdown ---------------------------------------------
+
+void CompileService::voteCancel(const std::shared_ptr<Job> &J,
+                                std::atomic<bool> &HandleVoted) {
+  if (HandleVoted.exchange(true))
+    return; // this handle (and its copies) already voted
+  bool ResolveNow = false;
+  {
+    std::lock_guard<std::mutex> Lock(J->M);
+    if (J->ResolutionClaimed)
+      return; // cancel after completion: terminal state stands
+    if (++J->CancelVotes < J->Waiters)
+      return; // other coalesced clients still want the result
+    J->CancelRequested = true;
+    J->Cancel.requestCancel();
+    ResolveNow = !J->Started;
+  }
+  {
+    // A cancel-requested job leaves the dedup index so an identical new
+    // submission starts a fresh compile instead of joining a doomed one.
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (J->InDedupIndex)
+      removeFromDedupLocked(J);
+  }
+  if (ResolveNow) {
+    JobOutcome Out;
+    Out.State = JobState::Cancelled;
+    Out.Diagnostic = CancelledDiagnostic;
+    Out.QueueSeconds = secondsSince(J->EnqueueTime);
+    resolveJob(J, std::move(Out));
+  }
+}
+
+void CompileService::shutdown(bool Drain) {
+  std::vector<std::shared_ptr<Job>> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+    if (!Drain)
+      for (auto &Entry : Live)
+        Pending.push_back(Entry.second);
+  }
+  for (const std::shared_ptr<Job> &J : Pending) {
+    bool ResolveNow = false;
+    {
+      std::lock_guard<std::mutex> Lock(J->M);
+      if (J->ResolutionClaimed)
+        continue;
+      J->CancelRequested = true;
+      J->Cancel.requestCancel();
+      ResolveNow = !J->Started;
+    }
+    if (ResolveNow) {
+      JobOutcome Out;
+      Out.State = JobState::Cancelled;
+      Out.Diagnostic = std::string(CancelledDiagnostic) + " at shutdown";
+      Out.QueueSeconds = secondsSince(J->EnqueueTime);
+      resolveJob(J, std::move(Out));
+    }
+  }
+  // Drain runs every still-queued task (resolved ones exit immediately);
+  // !Drain discards them — safe because the loop above already resolved
+  // every job that had not started. Running jobs finish or abort at their
+  // next checkpoint; the pool joins them either way.
+  Pool.shutdown(Drain);
+}
+
+// --- Reporting -----------------------------------------------------------
+
+CompileService::ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counts;
+}
+
+Table CompileService::statsTable() const {
+  ServiceStats S = stats();
+  uint64_t Resolved = S.Completed + S.Cancelled + S.Failed;
+  Table T({"metric", "value"});
+  T.addRow({"jobs submitted", std::to_string(S.Submitted)});
+  T.addRow({"  coalesced onto in-flight", std::to_string(S.Coalesced)});
+  T.addRow({"jobs completed", std::to_string(S.Completed)});
+  T.addRow({"jobs cancelled", std::to_string(S.Cancelled)});
+  T.addRow({"jobs rejected", std::to_string(S.Failed)});
+  T.addRow({"compiles started", std::to_string(S.CompilesStarted)});
+  T.addRow({"queue wait mean [ms]",
+            formatf("%.3f", Resolved ? S.TotalQueueSeconds / Resolved * 1e3
+                                     : 0.0)});
+  T.addRow({"queue wait max [ms]", formatf("%.3f", S.MaxQueueSeconds * 1e3)});
+  T.addRow({"compile wall mean [ms]",
+            formatf("%.3f", S.CompilesStarted ? S.TotalCompileSeconds /
+                                                    S.CompilesStarted * 1e3
+                                              : 0.0)});
+  T.addRow({"cache hits program tier", std::to_string(S.ProgramTierHits)});
+  T.addRow({"cache hits front tier", std::to_string(S.FrontTierHits)});
+  return T;
+}
+
+Table CompileService::outcomeTable(const std::vector<JobOutcome> &Outcomes) {
+  Table T({"job", "backend", "state", "queue [ms]", "compile [ms]", "cache",
+           "pulses", "EPS"});
+  for (const JobOutcome &O : Outcomes) {
+    bool Ran = O.State == JobState::Completed && O.Metrics.usable();
+    T.addRow({std::to_string(O.JobId),
+              O.Metrics.Compiler.empty() ? "-" : O.Metrics.Compiler,
+              jobStateName(O.State), formatf("%.2f", O.QueueSeconds * 1e3),
+              formatf("%.2f", O.CompileSeconds * 1e3), cacheTierName(O.Tier),
+              Ran ? std::to_string(O.Metrics.Pulses) : "-",
+              Ran && O.Metrics.EpsMeaningful ? formatf("%.3g", O.Metrics.Eps)
+                                             : "-"});
+  }
+  return T;
+}

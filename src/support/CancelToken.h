@@ -1,0 +1,72 @@
+//===- support/CancelToken.h - Cooperative cancellation --------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation primitive shared by the compile service and
+/// the pass pipeline. A producer (service client, shutdown path) requests
+/// cancellation; the compilation observes the token at well-defined
+/// checkpoints — the PassManager checks between passes — and aborts with a
+/// recognisable Status instead of crashing or blocking. Purely atomic, so
+/// a token may be observed from any thread without locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_CANCELTOKEN_H
+#define WEAVER_SUPPORT_CANCELTOKEN_H
+
+#include "support/Status.h"
+
+#include <atomic>
+
+namespace weaver {
+
+/// A sticky cancellation flag: once requested, it stays cancelled.
+class CancelToken {
+public:
+  /// Requests cancellation; the compile aborts at its next checkpoint.
+  void requestCancel() { Cancelled.store(true, std::memory_order_release); }
+
+  bool isCancelled() const {
+    return Cancelled.load(std::memory_order_acquire);
+  }
+
+  /// Testing aid: arms the token to self-cancel at the Nth checkpoint
+  /// (N == 1 cancels at the very first one). This is how tests hit the
+  /// "cancelled mid-pipeline, between two specific passes" window
+  /// deterministically instead of racing a timer against the compile.
+  void cancelAtCheckpoint(int N) {
+    Countdown.store(N, std::memory_order_relaxed);
+  }
+
+  /// A cooperative cancellation point; returns whether the work should
+  /// abort. Const because observers hold `const CancelToken *`: the
+  /// countdown bookkeeping is logically observation, not mutation.
+  bool checkpoint() const {
+    int C = Countdown.load(std::memory_order_relaxed);
+    if (C > 0 && Countdown.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      Cancelled.store(true, std::memory_order_release);
+    return isCancelled();
+  }
+
+private:
+  mutable std::atomic<bool> Cancelled{false};
+  mutable std::atomic<int> Countdown{0};
+};
+
+/// Diagnostic prefix of every Status produced by a cancelled compile.
+inline constexpr const char CancelledDiagnostic[] = "compilation cancelled";
+
+/// True when \p S reports a cooperative cancellation (vs a real failure).
+inline bool isCancelledStatus(const Status &S) {
+  const std::string &M = S.message();
+  return !S.ok() &&
+         M.compare(0, sizeof(CancelledDiagnostic) - 1, CancelledDiagnostic) ==
+             0;
+}
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_CANCELTOKEN_H

@@ -1,0 +1,50 @@
+//===- tests/TestPaths.h - Per-test scratch directories --------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scratch-directory helper for tests that write files. CMake gives every
+/// test binary its own root (WEAVER_TEST_TMPDIR under the build tree);
+/// testTempDir() appends the current gtest case name, so two tests — even
+/// the same test running in two parallel `ctest -j` binaries — can never
+/// collide on a written path. Use this instead of ad-hoc /tmp paths or
+/// files next to the binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_TESTS_TESTPATHS_H
+#define WEAVER_TESTS_TESTPATHS_H
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#ifndef WEAVER_TEST_TMPDIR
+#define WEAVER_TEST_TMPDIR "/tmp/weaver-tests"
+#endif
+
+namespace weaver {
+
+/// Returns (creating if needed) a scratch directory unique to the calling
+/// test case: <binary tmpdir>/<Suite>.<Test>.
+inline std::string testTempDir() {
+  const ::testing::TestInfo *Info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string Case = Info ? std::string(Info->test_suite_name()) + "." +
+                                Info->name()
+                          : std::string("unknown");
+  // Parameterised test names contain '/', which would nest directories.
+  for (char &C : Case)
+    if (C == '/')
+      C = '_';
+  std::string Dir = std::string(WEAVER_TEST_TMPDIR) + "/" + Case;
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+} // namespace weaver
+
+#endif // WEAVER_TESTS_TESTPATHS_H

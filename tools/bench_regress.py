@@ -41,13 +41,20 @@ def load_benchmarks(path):
 
 
 def collect(directory):
-    """Returns {file name: {benchmark name: real_time}} for BENCH_*.json."""
+    """Returns {file name: {benchmark name: real_time}} for BENCH_*.json.
+
+    Walks recursively: each bench-smoke test writes into its own
+    subdirectory (so parallel ctest runs cannot collide on files), and
+    downloaded artifacts may preserve that layout. File names stay unique
+    across subdirectories (BENCH_<binary>.json), so the flat map is safe.
+    """
     result = {}
     if not os.path.isdir(directory):
         return result
-    for entry in sorted(os.listdir(directory)):
-        if entry.startswith("BENCH_") and entry.endswith(".json"):
-            result[entry] = load_benchmarks(os.path.join(directory, entry))
+    for root, _dirs, files in os.walk(directory):
+        for entry in sorted(files):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                result[entry] = load_benchmarks(os.path.join(root, entry))
     return result
 
 

@@ -1,0 +1,306 @@
+//===- tools/compile_server.cpp - CompileService demo driver --------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demo main for the async CompileService, in two modes:
+///
+///  * Batch mode (default): pushes a SATLIB batch (mixed uf20..uf100
+///    sizes, 100 formulas by default) through the service queue, then
+///    recompiles the same batch directly (no service, no cache) and
+///    verifies the wQASM of every job is byte-identical — the
+///    service-vs-direct equivalence the tests pin, demonstrated at batch
+///    scale. Prints the per-job rows and the aggregate stats table.
+///
+///      compile_server [--jobs N] [--threads N] [--queue N]
+///                     [--backend NAME] [--cancel-every K] [--no-dedup]
+///
+///  * Line-protocol mode (--serve): a minimal interactive server on
+///    stdin/stdout. One command per line:
+///      compile <backend> <nvars> <index> [gamma beta [priority]]
+///      file <path> [backend]         (DIMACS instance)
+///      cancel <jobid>
+///      stats
+///      quit                          (EOF also shuts down)
+///    Completions are reported asynchronously as "done <jobid> ..." lines
+///    from worker callbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/service/CompileService.h"
+#include "sat/Dimacs.h"
+#include "sat/Generator.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace weaver;
+using namespace weaver::core;
+
+namespace {
+
+struct DemoConfig {
+  int Jobs = 100;
+  int Threads = 0; // hardware concurrency
+  size_t Queue = 64;
+  std::string Backend = "weaver";
+  int CancelEvery = 0; // cancel every Kth job right after submit
+  bool Dedup = true;
+  bool Serve = false;
+};
+
+/// The mixed sizes of the batched demo — small enough that 100 formulas
+/// finish in seconds, mixed enough that the queue sees uneven job costs.
+constexpr int DemoSizes[] = {20, 50, 75, 100};
+
+int runBatchDemo(const DemoConfig &Config) {
+  Expected<baselines::BackendKind> KindOr =
+      baselines::backendKindFromName(Config.Backend);
+  if (!KindOr) {
+    std::fprintf(stderr, "error: %s\n", KindOr.message().c_str());
+    return 1;
+  }
+  baselines::BackendKind Kind = *KindOr;
+
+  ServiceOptions Opt;
+  Opt.NumThreads = Config.Threads;
+  Opt.QueueCapacity = Config.Queue;
+  Opt.Deduplicate = Config.Dedup;
+  CompileService Service(Opt);
+
+  // Build the batch: cycle the sizes, fresh instance index per size.
+  std::vector<CompileRequest> Batch;
+  std::map<int, int> NextIndex;
+  for (int I = 0; I < Config.Jobs; ++I) {
+    CompileRequest R;
+    int N = DemoSizes[I % std::size(DemoSizes)];
+    R.Formula = sat::satlibInstance(N, ++NextIndex[N]);
+    R.Kind = Kind;
+    R.Priority = 0;
+    Batch.push_back(std::move(R));
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<CompileService::JobHandle> Handles;
+  Handles.reserve(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    Handles.push_back(Service.submit(Batch[I]));
+    if (Config.CancelEvery > 0 &&
+        (I + 1) % static_cast<size_t>(Config.CancelEvery) == 0)
+      Handles.back().cancel();
+  }
+  std::vector<JobOutcome> Outcomes;
+  Outcomes.reserve(Handles.size());
+  for (CompileService::JobHandle &H : Handles)
+    Outcomes.push_back(H.wait());
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  // Per-job rows (first 8 + last) and the aggregate table.
+  std::vector<JobOutcome> Shown(
+      Outcomes.begin(),
+      Outcomes.begin() + std::min<size_t>(8, Outcomes.size()));
+  if (Outcomes.size() > 8)
+    Shown.push_back(Outcomes.back());
+  std::printf("%s...\n%s\n",
+              CompileService::outcomeTable(Shown).render().c_str(),
+              Service.statsTable().render().c_str());
+
+  size_t Completed = 0, Cancelled = 0;
+  for (const JobOutcome &O : Outcomes) {
+    Completed += O.State == JobState::Completed;
+    Cancelled += O.State == JobState::Cancelled;
+  }
+  std::printf("%zu jobs in %.2f s (%.0f jobs/s) on %d threads: "
+              "%zu completed, %zu cancelled\n",
+              Outcomes.size(), Wall, Outcomes.size() / Wall,
+              Service.numThreads(), Completed, Cancelled);
+
+  // Byte-identity against direct compiles: every completed service job
+  // must produce exactly the wQASM a standalone compile produces.
+  if (Kind == baselines::BackendKind::Weaver) {
+    std::unique_ptr<baselines::Backend> Direct = baselines::createBackend(Kind);
+    size_t Checked = 0, Identical = 0;
+    for (size_t I = 0; I < Outcomes.size(); ++I) {
+      if (Outcomes[I].State != JobState::Completed)
+        continue;
+      baselines::CompileOutput Ref =
+          Direct->compileFull(Batch[I].Formula, Batch[I].Qaoa);
+      ++Checked;
+      Identical += Ref.Wqasm == Outcomes[I].Wqasm;
+    }
+    std::printf("wQASM byte-identical to direct compiles: %zu/%zu%s\n",
+                Identical, Checked,
+                Identical == Checked ? "" : "  [MISMATCH]");
+    if (Identical != Checked)
+      return 1;
+  }
+  return 0;
+}
+
+int runServer(const DemoConfig &Config) {
+  ServiceOptions Opt;
+  Opt.NumThreads = Config.Threads;
+  Opt.QueueCapacity = Config.Queue;
+  Opt.Deduplicate = Config.Dedup;
+  CompileService Service(Opt);
+
+  std::mutex OutMutex; // callbacks print from worker threads
+  auto Report = [&OutMutex](const JobOutcome &O) {
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    std::printf("done %llu state=%s queue_ms=%.2f compile_ms=%.2f "
+                "cache=%s pulses=%zu\n",
+                static_cast<unsigned long long>(O.JobId),
+                jobStateName(O.State), O.QueueSeconds * 1e3,
+                O.CompileSeconds * 1e3, cacheTierName(O.Tier),
+                O.Metrics.Pulses);
+    std::fflush(stdout);
+  };
+
+  // All handles attached to a job id: a coalesced submit adds a second
+  // handle (and a second cancellation vote), so "cancel <id>" must vote
+  // with every one of them to actually cancel the job.
+  std::map<uint64_t, std::vector<CompileService::JobHandle>> Handles;
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    std::istringstream In(Line);
+    std::string Cmd;
+    In >> Cmd;
+    if (Cmd.empty())
+      continue;
+    if (Cmd == "quit")
+      break;
+    if (Cmd == "stats") {
+      std::lock_guard<std::mutex> Lock(OutMutex);
+      std::printf("%s", Service.statsTable().render().c_str());
+      continue;
+    }
+    if (Cmd == "cancel") {
+      uint64_t Id = 0;
+      In >> Id;
+      auto It = Handles.find(Id);
+      std::lock_guard<std::mutex> Lock(OutMutex);
+      if (It == Handles.end()) {
+        std::printf("error: unknown job %llu\n",
+                    static_cast<unsigned long long>(Id));
+      } else {
+        for (CompileService::JobHandle &H : It->second)
+          H.cancel();
+        std::printf("cancel requested for job %llu\n",
+                    static_cast<unsigned long long>(Id));
+      }
+      continue;
+    }
+
+    CompileRequest R;
+    bool Parsed = false;
+    if (Cmd == "compile") {
+      std::string Backend;
+      int Vars = 0, Index = 0;
+      In >> Backend >> Vars >> Index;
+      if (Vars > 0 && Index > 0) {
+        // Optional trailing fields; a failed extraction would zero the
+        // defaults, so parse into temporaries.
+        double Gamma, Beta;
+        int Priority;
+        if (In >> Gamma)
+          R.Qaoa.Gamma = Gamma;
+        if (In >> Beta)
+          R.Qaoa.Beta = Beta;
+        if (In >> Priority)
+          R.Priority = Priority;
+        Expected<baselines::BackendKind> Kind =
+            baselines::backendKindFromName(Backend);
+        if (!Kind) {
+          std::lock_guard<std::mutex> Lock(OutMutex);
+          std::printf("error: %s\n", Kind.message().c_str());
+          continue;
+        }
+        R.Kind = *Kind;
+        R.Formula = sat::satlibInstance(Vars, Index);
+        Parsed = true;
+      }
+    } else if (Cmd == "file") {
+      std::string Path, Backend;
+      In >> Path >> Backend;
+      auto F = sat::parseDimacsFile(Path.c_str());
+      if (!F) {
+        std::lock_guard<std::mutex> Lock(OutMutex);
+        std::printf("error: %s\n", F.message().c_str());
+        continue;
+      }
+      if (!Backend.empty()) {
+        Expected<baselines::BackendKind> Kind =
+            baselines::backendKindFromName(Backend);
+        if (!Kind) {
+          std::lock_guard<std::mutex> Lock(OutMutex);
+          std::printf("error: %s\n", Kind.message().c_str());
+          continue;
+        }
+        R.Kind = *Kind;
+      }
+      R.Formula = F.take();
+      Parsed = true;
+    }
+    if (!Parsed) {
+      std::lock_guard<std::mutex> Lock(OutMutex);
+      std::printf("error: unrecognised command '%s'\n", Line.c_str());
+      continue;
+    }
+    CompileService::JobHandle H = Service.submit(std::move(R), Report);
+    Handles[H.id()].push_back(H);
+    std::lock_guard<std::mutex> Lock(OutMutex);
+    std::printf("queued %llu%s\n",
+                static_cast<unsigned long long>(H.id()),
+                H.coalesced() ? " (coalesced)" : "");
+    std::fflush(stdout);
+  }
+  Service.shutdown(/*Drain=*/true);
+  std::lock_guard<std::mutex> Lock(OutMutex);
+  std::printf("%s", Service.statsTable().render().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DemoConfig Config;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--jobs")
+      Config.Jobs = std::atoi(Next());
+    else if (Arg == "--threads")
+      Config.Threads = std::atoi(Next());
+    else if (Arg == "--queue")
+      Config.Queue = static_cast<size_t>(std::atoll(Next()));
+    else if (Arg == "--backend")
+      Config.Backend = Next();
+    else if (Arg == "--cancel-every")
+      Config.CancelEvery = std::atoi(Next());
+    else if (Arg == "--no-dedup")
+      Config.Dedup = false;
+    else if (Arg == "--serve")
+      Config.Serve = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: compile_server [--jobs N] [--threads N] "
+                   "[--queue N] [--backend NAME] [--cancel-every K] "
+                   "[--no-dedup] [--serve]\n");
+      return Arg == "--help" ? 0 : 1;
+    }
+  }
+  return Config.Serve ? runServer(Config) : runBatchDemo(Config);
+}
