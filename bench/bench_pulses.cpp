@@ -14,6 +14,8 @@
 
 #include "BenchCommon.h"
 
+#include "qasm/Printer.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace weaver;
@@ -62,6 +64,50 @@ void BM_WeaverPulseAnalysis(benchmark::State &State) {
       static_cast<int64_t>(W->Program.numAnnotations()));
 }
 BENCHMARK(BM_WeaverPulseAnalysis)->Arg(20)->Arg(100)->Arg(250)
+    ->Complexity(benchmark::oN);
+
+/// Fits the emitted @shuttle annotation stream per colour boundary against
+/// the AOD column count. The batched Algorithm-2 emitter moves each
+/// boundary's columns in whole parallel sets, so the per-boundary
+/// annotation count is O(columns); the pre-batching cascade emitter was
+/// O(columns^2). The "time" under the fit is the per-boundary annotation
+/// count itself (manual time), so the reported BigO is the emission
+/// complexity in columns, not a wall-clock figure; the counters feed
+/// tools/bench_regress.py's pulse-count regression check.
+void BM_WeaverShuttleEmission(benchmark::State &State) {
+  sat::CnfFormula F =
+      sat::satlibInstance(static_cast<int>(State.range(0)), 1);
+  int64_t Columns = 0;
+  double PerBoundary = 0;
+  size_t Annotations = 0, Pulses = 0, Bytes = 0;
+  for (auto _ : State) {
+    auto R = core::compileWeaver(F, core::WeaverOptions());
+    if (R) {
+      for (const qasm::Annotation &A : R->Program.Statements[0].Annotations)
+        if (A.Kind == qasm::AnnotationKind::Aod)
+          Columns = static_cast<int64_t>(A.AodXs.size());
+      Annotations = R->Stats.ShuttleAnnotations;
+      Pulses = R->Stats.totalPulses();
+      PerBoundary =
+          static_cast<double>(Annotations) / R->Coloring.numColors();
+      Bytes = qasm::printWqasm(R->Program).size();
+    }
+    State.SetIterationTime(PerBoundary);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["aod_columns"] = static_cast<double>(Columns);
+  State.counters["shuttle_annotations"] = static_cast<double>(Annotations);
+  State.counters["shuttles_per_boundary"] = PerBoundary;
+  State.counters["total_pulses"] = static_cast<double>(Pulses);
+  State.counters["wqasm_bytes"] = static_cast<double>(Bytes);
+  State.SetComplexityN(Columns);
+}
+BENCHMARK(BM_WeaverShuttleEmission)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(250)
+    ->UseManualTime()
     ->Complexity(benchmark::oN);
 
 } // namespace

@@ -75,6 +75,20 @@ private:
   Status transferHome(int Qubit, int Column);
   Status transferSite(const ClausePlan &CP);
 
+  // --- Batched movement (Algorithm 2 parallel shuttle sets) --------------
+  /// Stages a column move in memory: updates the ColX mirror with exactly
+  /// the bump-cascade semantics of moveColumnTo, but emits nothing. The
+  /// net displacements accumulate until flushColumnBatch() turns them into
+  /// ONE parallel multi-column @shuttle — the whole AOD step the paper's
+  /// Algorithm 2 performs at once, instead of O(moves) cascading pulses.
+  void planColumnTo(int Column, double X);
+  /// Records \p Column's pre-batch position on first touch.
+  void touchColumn(int Column);
+  /// Emits the staged net moves as one @shuttle annotation (single-column
+  /// form when only one column moved) and closes the batch. Columns whose
+  /// staged moves cancelled out are skipped.
+  Status flushColumnBatch();
+
   // --- Program structure -------------------------------------------------
   Status emitSetup();
   Status emitColor(int Color, const BoundarySchedule &Boundary);
@@ -103,6 +117,14 @@ private:
 
   std::vector<double> ColX; ///< column position mirror
   double RowYPos = 0;
+
+  /// Open-batch staging state (see planColumnTo/flushColumnBatch).
+  /// PreBatchX holds each touched column's position when the batch opened;
+  /// the epoch array makes per-batch reset O(touched), not O(columns).
+  std::vector<double> PreBatchX;
+  std::vector<uint32_t> TouchedEpoch;
+  uint32_t BatchEpoch = 1;
+  std::vector<int> TouchedColumns;
 
   qasm::WqasmProgram Program;
   std::vector<Annotation> Pending; ///< annotations awaiting next statement
@@ -230,6 +252,8 @@ Status Emitter::globalRaman(GateKind Kind, ParamAngle Angle) {
 Status Emitter::moveColumnTo(int Column, double X) {
   assert(Column >= 0 && Column < Ctx.NumColumns &&
          "column index out of range");
+  assert(TouchedColumns.empty() &&
+         "single-column move while a staged batch is open");
   double Gap = Ctx.Options.Geometry.BumpGap;
   if (std::abs(ColX[Column] - X) < 1e-9)
     return Status::success();
@@ -249,6 +273,65 @@ Status Emitter::moveColumnTo(int Column, double X) {
     return S;
   ColX[Column] = X;
   return Status::success();
+}
+
+void Emitter::touchColumn(int Column) {
+  if (TouchedEpoch[Column] != BatchEpoch) {
+    TouchedEpoch[Column] = BatchEpoch;
+    PreBatchX[Column] = ColX[Column];
+    TouchedColumns.push_back(Column);
+  }
+}
+
+void Emitter::planColumnTo(int Column, double X) {
+  assert(Column >= 0 && Column < Ctx.NumColumns &&
+         "column index out of range");
+  double Gap = Ctx.Options.Geometry.BumpGap;
+  if (std::abs(ColX[Column] - X) < 1e-9)
+    return;
+  // Same displacement-cascade decisions as moveColumnTo (including the
+  // epsilon that keeps exactly-Gap-spaced park targets from spurious
+  // bumps) — only staged instead of emitted.
+  if (X > ColX[Column]) {
+    if (Column + 1 < Ctx.NumColumns && ColX[Column + 1] < X + Gap - 1e-7)
+      planColumnTo(Column + 1, X + Gap);
+  } else {
+    if (Column > 0 && ColX[Column - 1] > X - Gap + 1e-7)
+      planColumnTo(Column - 1, X - Gap);
+  }
+  touchColumn(Column);
+  ColX[Column] = X;
+}
+
+Status Emitter::flushColumnBatch() {
+  std::sort(TouchedColumns.begin(), TouchedColumns.end());
+  std::vector<int> Indices;
+  std::vector<double> Offsets;
+  Indices.reserve(TouchedColumns.size());
+  Offsets.reserve(TouchedColumns.size());
+  for (int C : TouchedColumns) {
+    double Delta = ColX[C] - PreBatchX[C];
+    if (std::abs(Delta) < 1e-9) {
+      // Net-zero move (a bump cancelled by a later move): restore the
+      // exact pre-batch coordinate so the mirror cannot drift.
+      ColX[C] = PreBatchX[C];
+      continue;
+    }
+    Indices.push_back(C);
+    Offsets.push_back(Delta);
+  }
+  TouchedColumns.clear();
+  ++BatchEpoch;
+  if (Indices.empty())
+    return Status::success();
+  // The whole batch is one AOD step. The device validates the endpoint
+  // configuration; with start and end both ordered, the simultaneous
+  // linear motion in between cannot cross columns.
+  if (Indices.size() == 1)
+    return pulse(Annotation::shuttle(/*Row=*/false, Indices[0], Offsets[0]));
+  return pulse(
+      Annotation::shuttleParallel(/*Rows=*/false, std::move(Indices),
+                                  std::move(Offsets)));
 }
 
 Status Emitter::shuttleRowTo(double Y) {
@@ -279,6 +362,8 @@ Status Emitter::emitSetup() {
     for (int C = 0; C < Ctx.NumColumns; ++C)
       Xs.push_back(-L.ParkSpacing * (Ctx.NumColumns - C));
     ColX = Xs;
+    PreBatchX.assign(Ctx.NumColumns, 0);
+    TouchedEpoch.assign(Ctx.NumColumns, 0);
     RowYPos = L.PickupRowY;
     if (Status S = pulse(Annotation::aod(Xs, {RowYPos})))
       return S;
@@ -322,23 +407,36 @@ Status Emitter::emitHomeRounds(std::vector<Slot> Atoms) {
     Rounds[R].push_back(S);
   }
   for (const std::vector<Slot> &Round : Rounds) {
-    // One parallel shuttle batch: every column of the round moves to its
-    // atom's home column position.
-    for (const Slot &S : Round)
-      if (Status St = moveColumnTo(S.Column, L.homePosition(S.Qubit).X))
+    // Stage every column move of the round and emit them as ONE parallel
+    // multi-column shuttle. A bump cascade from a later staged move can
+    // displace an earlier round column, so iterate the staging to a
+    // simultaneous fixpoint first (homes sit HomeSpacing apart, far above
+    // BumpGap, so this settles immediately in practice).
+    bool AllAligned = false;
+    for (int Sweep = 0; Sweep < 3 && !AllAligned; ++Sweep) {
+      for (const Slot &S : Round)
+        planColumnTo(S.Column, L.homePosition(S.Qubit).X);
+      AllAligned = true;
+      for (const Slot &S : Round)
+        AllAligned &=
+            std::abs(ColX[S.Column] - L.homePosition(S.Qubit).X) < 1e-9;
+    }
+    if (AllAligned) {
+      // One AOD step, then one parallel transfer batch.
+      if (Status St = flushColumnBatch())
         return St;
-    // A bump cascade from a later move can displace an earlier round
-    // column. If everyone is in place, fire one parallel transfer batch;
-    // otherwise fall back to interleaved move+transfer (still correct,
-    // just without transfer batching for this round).
-    bool AllAligned = true;
-    for (const Slot &S : Round)
-      AllAligned &=
-          std::abs(ColX[S.Column] - L.homePosition(S.Qubit).X) < 1e-9;
-    for (const Slot &S : Round) {
-      if (!AllAligned)
-        if (Status St = moveColumnTo(S.Column, L.homePosition(S.Qubit).X))
+      for (const Slot &S : Round)
+        if (Status St = transferHome(S.Qubit, S.Column))
           return St;
+      continue;
+    }
+    // Pathological spacing (no simultaneous alignment): fall back to
+    // interleaved move+transfer — each column is on its home at its own
+    // transfer instant, like the pre-batching emitter.
+    for (const Slot &S : Round) {
+      planColumnTo(S.Column, L.homePosition(S.Qubit).X);
+      if (Status St = flushColumnBatch())
+        return St;
       if (Status St = transferHome(S.Qubit, S.Column))
         return St;
     }
@@ -389,39 +487,29 @@ Status Emitter::emitColorBoundary(ColorPlan &Plan,
     CP.ColRight = ColOf(CP.Right, CP.ColRight);
   }
 
-  // Single increasing sweep onto the scheduled targets. The scheduler
-  // guarantees targets ascending with >= BumpGap spacing; under that
-  // invariant a rightward move can only bump a not-yet-placed column (at
-  // most onto its own target) and a leftward move never reaches back to a
-  // placed one, so one sweep provably places every column and the former
-  // verification re-scans are dead. Check the invariant in O(columns) and
-  // keep the guarded iteration as a fallback for irregular targets.
+  // Place every column on its scheduled target in ONE parallel AOD step.
+  // The scheduler guarantees targets ascending with >= BumpGap spacing
+  // (the invariant the former per-column sweep relied on); under it a
+  // staged rightward move can only bump a not-yet-staged column at most
+  // onto its own target and a leftward move never reaches back to a
+  // staged one, so one increasing staging sweep lands every column and
+  // the whole boundary flushes as a single batch. Irregular targets would
+  // be a scheduler bug — reject them instead of keeping the dead
+  // multi-sweep fallback.
   const double Gap = Ctx.Options.Geometry.BumpGap;
-  bool Monotone = true;
   for (int C = 0; C + 1 < Ctx.NumColumns; ++C)
-    Monotone &= B.ColumnTargets[C + 1] - B.ColumnTargets[C] >= Gap - 1e-9;
-  if (Monotone) {
-    for (int C = 0; C < Ctx.NumColumns; ++C)
-      if (Status St = moveColumnTo(C, B.ColumnTargets[C]))
-        return St;
+    if (B.ColumnTargets[C + 1] - B.ColumnTargets[C] < Gap - 1e-9)
+      return Status::error(
+          "scheduled column targets are not monotone with BumpGap "
+          "spacing; ShuttleSchedulingPass must produce them pre-monotone");
+  for (int C = 0; C < Ctx.NumColumns; ++C)
+    planColumnTo(C, B.ColumnTargets[C]);
 #ifndef NDEBUG
-    for (int C = 0; C < Ctx.NumColumns; ++C)
-      assert(std::abs(ColX[C] - B.ColumnTargets[C]) < 1e-9 &&
-             "monotone sweep left a column off target");
+  for (int C = 0; C < Ctx.NumColumns; ++C)
+    assert(std::abs(ColX[C] - B.ColumnTargets[C]) < 1e-9 &&
+           "monotone staging sweep left a column off target");
 #endif
-    return Status::success();
-  }
-  for (int Sweep = 0; Sweep < 3; ++Sweep) {
-    bool AllPlaced = true;
-    for (int C = 0; C < Ctx.NumColumns; ++C) {
-      if (Status St = moveColumnTo(C, B.ColumnTargets[C]))
-        return St;
-      AllPlaced &= std::abs(ColX[C] - B.ColumnTargets[C]) < 1e-9;
-    }
-    if (AllPlaced)
-      return Status::success();
-  }
-  return Status::error("column placement failed to converge");
+  return flushColumnBatch();
 }
 
 Status Emitter::emitPolarityConjugation(const ColorPlan &Plan) {

@@ -36,6 +36,7 @@ public:
       break; // setup: no pulse, no time
     case AnnotationKind::Shuttle: {
       Stats.ShuttleInstructions++;
+      Stats.ShuttleAnnotations++;
       if (Batches.Batch != BatchTracker::Kind::Shuttle ||
           Batches.axisSeen(A.ShuttleRow, A.ShuttleIndex)) {
         closeBatch();
@@ -43,6 +44,21 @@ public:
       }
       Batches.markAxis(A.ShuttleRow, A.ShuttleIndex);
       Batches.MaxDistance = std::max(Batches.MaxDistance, std::abs(A.Offset));
+      break;
+    }
+    case AnnotationKind::ShuttleParallel: {
+      // One annotation == one AOD step == exactly one batch; no
+      // reconstruction needed and no merging with neighbouring shuttles.
+      closeBatch();
+      Stats.ShuttleAnnotations++;
+      Stats.ShuttleInstructions += A.ShuttleIndices.size();
+      Stats.MaxParallelShuttleWidth =
+          std::max(Stats.MaxParallelShuttleWidth, A.ShuttleIndices.size());
+      Stats.ShuttleBatches++;
+      double MaxOffset = 0;
+      for (double Offset : A.ShuttleOffsets)
+        MaxOffset = std::max(MaxOffset, std::abs(Offset));
+      Stats.Duration += MaxOffset / Params.ShuttleSpeedUmPerSec;
       break;
     }
     case AnnotationKind::Transfer: {

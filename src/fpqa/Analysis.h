@@ -32,8 +32,17 @@ struct PulseStats {
   size_t RamanLocalPulses = 0;
   size_t RamanGlobalPulses = 0;
   size_t RydbergPulses = 0;
-  size_t ShuttleInstructions = 0;
-  size_t ShuttleBatches = 0; ///< parallel groups (Algorithm 2)
+  size_t ShuttleInstructions = 0; ///< individual row/column moves
+  /// Parallel groups (Algorithm 2). A multi-row/column @shuttle annotation
+  /// is one batch by construction; consecutive single-axis @shuttle lines
+  /// over distinct axes are merged into one reconstructed batch.
+  size_t ShuttleBatches = 0;
+  /// Emitted @shuttle annotation lines: a parallel set counts once, so
+  /// this tracks the stream size the emitter actually produced (the
+  /// per-boundary linearity metric of bench_pulses).
+  size_t ShuttleAnnotations = 0;
+  /// Widest parallel @shuttle set seen (0 when none was emitted).
+  size_t MaxParallelShuttleWidth = 0;
   size_t TransferInstructions = 0;
   size_t TransferBatches = 0;
   size_t CzGates = 0;  ///< 2-atom clusters summed over Rydberg pulses

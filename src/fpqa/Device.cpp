@@ -39,6 +39,8 @@ Status FpqaDevice::apply(const Annotation &A) {
     return applyTransfer(A);
   case AnnotationKind::Shuttle:
     return applyShuttle(A);
+  case AnnotationKind::ShuttleParallel:
+    return applyShuttleParallel(A);
   case AnnotationKind::RamanGlobal:
   case AnnotationKind::RamanLocal:
     return applyRaman(A);
@@ -193,6 +195,70 @@ Status FpqaDevice::applyShuttle(const Annotation &A) {
     markMoved(Q);
   }
   Coords[A.ShuttleIndex] = NewPos;
+  return Status::success();
+}
+
+Status FpqaDevice::applyShuttleParallel(const Annotation &A) {
+  std::vector<double> &Coords = A.ShuttleRow ? RowY : ColumnX;
+  const char *What = A.ShuttleRow ? "row" : "column";
+  const std::vector<int> &Indices = A.ShuttleIndices;
+  if (Indices.empty())
+    return Status::error("@shuttle parallel form moves no rows/columns");
+  if (Indices.size() != A.ShuttleOffsets.size())
+    return Status::error("@shuttle parallel form needs one offset per "
+                         "index");
+  // The moved set must be pairwise distinct; requiring strictly ascending
+  // indices makes overlap an O(1)-per-element check and fixes a canonical
+  // spelling for the batch.
+  for (size_t I = 0; I < Indices.size(); ++I) {
+    if (Indices[I] < 0 || static_cast<size_t>(Indices[I]) >= Coords.size())
+      return Status::error(std::string("@shuttle: ") + What +
+                           " index out of range");
+    if (I > 0 && Indices[I] <= Indices[I - 1])
+      return Status::error(std::string("@shuttle: parallel ") + What +
+                           " indices must be strictly ascending (distinct "
+                           "traps per AOD step)");
+  }
+  // Simultaneously moving traps may not cross or crowd: with both the
+  // start and end configurations ascending, the linear interpolation in
+  // between stays ordered, so validating the post-move coordinate array
+  // suffices (Table 1 pre-condition, batched form). Only neighbours of a
+  // moved index can newly violate spacing.
+  auto PosAfter = [&](int Index, size_t &Cursor) {
+    // Indices ascend and the callers below query ascending neighbours, so
+    // a monotone cursor over the moved set keeps this O(1) amortised.
+    while (Cursor < Indices.size() && Indices[Cursor] < Index)
+      ++Cursor;
+    if (Cursor < Indices.size() && Indices[Cursor] == Index)
+      return Coords[Index] + A.ShuttleOffsets[Cursor];
+    return Coords[Index];
+  };
+  size_t LeftCursor = 0, RightCursor = 0;
+  for (size_t I = 0; I < Indices.size(); ++I) {
+    int Index = Indices[I];
+    double NewPos = Coords[Index] + A.ShuttleOffsets[I];
+    if (Index > 0 &&
+        NewPos - PosAfter(Index - 1, LeftCursor) < Params.MinAodSeparation)
+      return Status::error(std::string("@shuttle: parallel ") + What +
+                           " move would cross or crowd a left/lower "
+                           "neighbour");
+    if (static_cast<size_t>(Index) + 1 < Coords.size() &&
+        PosAfter(Index + 1, RightCursor) - NewPos < Params.MinAodSeparation)
+      return Status::error(std::string("@shuttle: parallel ") + What +
+                           " move would cross or crowd a right/upper "
+                           "neighbour");
+  }
+  // Commit: update coordinates and dirty-mark exactly the atoms riding the
+  // moved rows/columns (same lazy grid contract as the single form).
+  for (size_t I = 0; I < Indices.size(); ++I) {
+    int Index = Indices[I];
+    for (const auto &[Cross, Q] :
+         A.ShuttleRow ? RowAtoms[Index] : ColumnAtoms[Index]) {
+      (void)Cross;
+      markMoved(Q);
+    }
+    Coords[Index] += A.ShuttleOffsets[I];
+  }
   return Status::success();
 }
 

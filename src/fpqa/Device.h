@@ -114,6 +114,7 @@ private:
   Status applyBind(const qasm::Annotation &A);
   Status applyTransfer(const qasm::Annotation &A);
   Status applyShuttle(const qasm::Annotation &A);
+  Status applyShuttleParallel(const qasm::Annotation &A);
   Status applyRaman(const qasm::Annotation &A);
 
   int aodOccupant(int Col, int Row) const;

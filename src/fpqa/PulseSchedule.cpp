@@ -98,6 +98,16 @@ fpqa::schedulePulseProgram(const std::vector<Annotation> &Program,
       BatchSources.push_back(I);
       break;
     }
+    case AnnotationKind::ShuttleParallel: {
+      // One annotation is one AOD step, scheduled directly (Emit closes
+      // any open reconstructed batch first).
+      double MaxOffset = 0;
+      for (double Offset : A.ShuttleOffsets)
+        MaxOffset = std::max(MaxOffset, std::abs(Offset));
+      Emit(MaxOffset / Params.ShuttleSpeedUmPerSec,
+           formatf("shuttle x%zu (parallel)", A.ShuttleIndices.size()), I);
+      break;
+    }
     case AnnotationKind::Transfer:
       if (Batches.Batch != BatchTracker::Kind::Transfer)
         CloseBatch();

@@ -22,6 +22,7 @@ const char *qasm::annotationKindName(AnnotationKind Kind) {
   case AnnotationKind::Transfer:
     return "transfer";
   case AnnotationKind::Shuttle:
+  case AnnotationKind::ShuttleParallel:
     return "shuttle";
   case AnnotationKind::RamanGlobal:
   case AnnotationKind::RamanLocal:
@@ -75,6 +76,22 @@ std::string Annotation::str() const {
     Out += std::string(" ") + (ShuttleRow ? "row" : "column") + " " +
            std::to_string(ShuttleIndex) + " " + formatDouble(Offset);
     break;
+  case AnnotationKind::ShuttleParallel: {
+    Out += std::string(" ") + (ShuttleRow ? "rows" : "columns") + " [";
+    for (size_t I = 0; I < ShuttleIndices.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(ShuttleIndices[I]);
+    }
+    Out += "] [";
+    for (size_t I = 0; I < ShuttleOffsets.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += formatDouble(ShuttleOffsets[I]);
+    }
+    Out += "]";
+    break;
+  }
   case AnnotationKind::RamanGlobal:
     Out += " global " + formatDouble(AngleX) + " " + formatDouble(AngleY) +
            " " + formatDouble(AngleZ);
@@ -138,6 +155,16 @@ Annotation Annotation::shuttle(bool Row, int Index, double Offset) {
   A.ShuttleRow = Row;
   A.ShuttleIndex = Index;
   A.Offset = Offset;
+  return A;
+}
+
+Annotation Annotation::shuttleParallel(bool Rows, std::vector<int> Indices,
+                                       std::vector<double> Offsets) {
+  Annotation A;
+  A.Kind = AnnotationKind::ShuttleParallel;
+  A.ShuttleRow = Rows;
+  A.ShuttleIndices = std::move(Indices);
+  A.ShuttleOffsets = std::move(Offsets);
   return A;
 }
 

@@ -18,6 +18,8 @@
 ///   @transfer 2 (0, 1)
 ///   @shuttle row 0 7.5
 ///   @shuttle column 1 -2.5
+///   @shuttle columns [0, 2, 3] [5, -1.5, 2]
+///   @shuttle rows [0, 1] [2, 2]
 ///   @raman global 0 1.5707963 0
 ///   @raman local q[3] 0 1.5707963 0
 ///   @rydberg
@@ -43,6 +45,12 @@ enum class AnnotationKind {
   Bind,        ///< @bind — tie a trap to a qubit id
   Transfer,    ///< @transfer — move an atom between SLM and AOD layers
   Shuttle,     ///< @shuttle — move an AOD row/column by an offset
+  /// @shuttle rows/columns — move a set of pairwise-distinct AOD
+  /// rows/columns simultaneously in one AOD step (Algorithm 2's parallel
+  /// shuttle sets). Order along the axis must be preserved: simultaneous
+  /// traps cannot cross, so the post-move coordinates have to remain
+  /// ascending with the minimum AOD separation.
+  ShuttleParallel,
   RamanGlobal, ///< @raman global — rotate every qubit
   RamanLocal,  ///< @raman local — rotate one qubit
   Rydberg,     ///< @rydberg — global entangling pulse (CZ / CCZ)
@@ -77,7 +85,7 @@ struct Annotation {
   int AodCol = -1;
   int AodRow = -1;
 
-  /// @shuttle: true to move a row, false to move a column.
+  /// @shuttle: true to move a row (set), false for a column (set).
   bool ShuttleRow = true;
 
   /// @shuttle: row/column index.
@@ -85,6 +93,11 @@ struct Annotation {
 
   /// @shuttle: displacement in micrometers.
   double Offset = 0;
+
+  /// @shuttle rows/columns: moved indices (strictly ascending) and the
+  /// matching per-index displacements in micrometers.
+  std::vector<int> ShuttleIndices;
+  std::vector<double> ShuttleOffsets;
 
   /// @raman: rotation angles around the x, y and z axes (radians).
   double AngleX = 0;
@@ -102,6 +115,8 @@ struct Annotation {
   static Annotation bindAod(int Qubit, int Col, int Row);
   static Annotation transfer(int SlmIndex, int Col, int Row);
   static Annotation shuttle(bool Row, int Index, double Offset);
+  static Annotation shuttleParallel(bool Rows, std::vector<int> Indices,
+                                    std::vector<double> Offsets);
   static Annotation ramanGlobal(double X, double Y, double Z);
   static Annotation ramanLocal(int Qubit, double X, double Y, double Z);
   static Annotation rydberg();

@@ -57,6 +57,8 @@ private:
 
   bool parseInt(int &Out);
   bool parseSignedNumber(double &Out);
+  bool parseIntList(std::vector<int> &Out);
+  bool parseNumberList(std::vector<double> &Out);
   bool parseQubitRef(int &FlatIndex);
   bool parseQubitRefOrIndex(int &FlatIndex);
   bool parseBitRef(int &FlatIndex);
@@ -181,6 +183,38 @@ bool Parser::parseSignedNumber(double &Out) {
   if (!peek().is(TokenKind::Number))
     return fail("expected number, found '" + peek().Text + "'");
   Out = Sign * advance().NumberValue;
+  return true;
+}
+
+// '[' v (',' v)* ']' with optional commas, shared by every bracketed
+// annotation list.
+bool Parser::parseIntList(std::vector<int> &Out) {
+  if (!expectPunct('['))
+    return false;
+  while (!peek().isPunct(']')) {
+    int V;
+    if (!parseInt(V))
+      return false;
+    Out.push_back(V);
+    if (peek().isPunct(','))
+      advance();
+  }
+  advance(); // ']'
+  return true;
+}
+
+bool Parser::parseNumberList(std::vector<double> &Out) {
+  if (!expectPunct('['))
+    return false;
+  while (!peek().isPunct(']')) {
+    double V;
+    if (!parseSignedNumber(V))
+      return false;
+    Out.push_back(V);
+    if (peek().isPunct(','))
+      advance();
+  }
+  advance(); // ']'
   return true;
 }
 
@@ -434,22 +468,8 @@ bool Parser::parseAnnotation() {
     advance(); // ']'
     A = Annotation::slm(std::move(Traps));
   } else if (Keyword == "aod") {
-    auto ParseList = [&](std::vector<double> &Out) {
-      if (!expectPunct('['))
-        return false;
-      while (!peek().isPunct(']')) {
-        double V;
-        if (!parseSignedNumber(V))
-          return false;
-        Out.push_back(V);
-        if (peek().isPunct(','))
-          advance();
-      }
-      advance(); // ']'
-      return true;
-    };
     std::vector<double> Xs, Ys;
-    if (!ParseList(Xs) || !ParseList(Ys))
+    if (!parseNumberList(Xs) || !parseNumberList(Ys))
       return false;
     A = Annotation::aod(std::move(Xs), std::move(Ys));
   } else if (Keyword == "bind") {
@@ -487,19 +507,36 @@ bool Parser::parseAnnotation() {
       return false;
     A = Annotation::transfer(SlmIndex, Col, Row);
   } else if (Keyword == "shuttle") {
-    bool Row;
+    bool Row, Parallel;
     if (peek().isIdent("row"))
-      Row = true;
+      Row = true, Parallel = false;
     else if (peek().isIdent("column"))
-      Row = false;
+      Row = false, Parallel = false;
+    else if (peek().isIdent("rows"))
+      Row = true, Parallel = true;
+    else if (peek().isIdent("columns"))
+      Row = false, Parallel = true;
     else
-      return fail("expected 'row' or 'column' in @shuttle");
+      return fail("expected 'row', 'column', 'rows' or 'columns' in "
+                  "@shuttle");
     advance();
-    int Index;
-    double Offset;
-    if (!parseInt(Index) || !parseSignedNumber(Offset))
-      return false;
-    A = Annotation::shuttle(Row, Index, Offset);
+    if (Parallel) {
+      // @shuttle rows|columns [i0, i1, ...] [off0, off1, ...]
+      std::vector<int> Indices;
+      std::vector<double> Offsets;
+      if (!parseIntList(Indices) || !parseNumberList(Offsets))
+        return false;
+      if (Indices.size() != Offsets.size())
+        return fail("@shuttle parallel form needs one offset per index");
+      A = Annotation::shuttleParallel(Row, std::move(Indices),
+                                      std::move(Offsets));
+    } else {
+      int Index;
+      double Offset;
+      if (!parseInt(Index) || !parseSignedNumber(Offset))
+        return false;
+      A = Annotation::shuttle(Row, Index, Offset);
+    }
   } else if (Keyword == "raman") {
     bool Global;
     if (peek().isIdent("global"))

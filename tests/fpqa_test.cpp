@@ -133,6 +133,74 @@ TEST(Device, ShuttleRejectsBadIndex) {
   EXPECT_TRUE(static_cast<bool>(D.apply(Annotation::shuttle(true, 3, 1.0))));
 }
 
+TEST(Device, ParallelShuttleMovesColumnsSimultaneously) {
+  FpqaDevice D;
+  EXPECT_FALSE(D.apply(Annotation::aod({0.0, 6.0, 12.0}, {2.0})));
+  EXPECT_FALSE(
+      D.apply(Annotation::shuttleParallel(false, {0, 2}, {4.0, -2.0})));
+  EXPECT_DOUBLE_EQ(D.columnX(0), 4.0);
+  EXPECT_DOUBLE_EQ(D.columnX(1), 6.0);
+  EXPECT_DOUBLE_EQ(D.columnX(2), 10.0);
+}
+
+TEST(Device, ParallelShuttleMovesAtomsRidingTheColumns) {
+  // An atom on a moved column must land on the new position — the
+  // dirty-mark/lazy-sync path has to cover the parallel form too.
+  FpqaDevice D = makeLoadedDevice();
+  EXPECT_FALSE(D.apply(Annotation::transfer(0, 0, 0))); // atom 0 -> AOD
+  EXPECT_FALSE(
+      D.apply(Annotation::shuttleParallel(false, {0, 1}, {3.0, 3.0})));
+  EXPECT_DOUBLE_EQ(D.qubitPosition(0).X, 3.0);
+  auto Clusters = D.rydbergClusters();
+  ASSERT_TRUE(Clusters.ok()) << Clusters.message();
+}
+
+TEST(Device, ParallelShuttleRejectsOverlappingIndices) {
+  FpqaDevice D = makeLoadedDevice();
+  Status S =
+      D.apply(Annotation::shuttleParallel(false, {0, 0}, {1.0, 2.0}));
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_NE(S.message().find("ascending"), std::string::npos);
+  // Descending spellings are rejected too: one canonical batch form.
+  EXPECT_TRUE(static_cast<bool>(
+      D.apply(Annotation::shuttleParallel(false, {1, 0}, {1.0, 1.0}))));
+}
+
+TEST(Device, ParallelShuttleRejectsOrderInversion) {
+  FpqaDevice D = makeLoadedDevice();
+  // Columns at 0 and 6: sending column 0 past column 1 in one step would
+  // cross, even though the batch moves both.
+  EXPECT_TRUE(static_cast<bool>(
+      D.apply(Annotation::shuttleParallel(false, {0, 1}, {8.0, 0.0}))));
+  // Unchanged on failure.
+  EXPECT_DOUBLE_EQ(D.columnX(0), 0.0);
+  EXPECT_DOUBLE_EQ(D.columnX(1), 6.0);
+}
+
+TEST(Device, ParallelShuttleRejectsSubMinimumSpacing) {
+  HardwareParams P;
+  FpqaDevice D = makeLoadedDevice(P);
+  // End positions 5.6 and 6.0: gap 0.4 < MinAodSeparation (0.8).
+  EXPECT_TRUE(static_cast<bool>(D.apply(Annotation::shuttleParallel(
+      false, {0, 1}, {6.0 - P.MinAodSeparation / 2, 0.0}))));
+  // At/above the minimum separation is allowed.
+  EXPECT_FALSE(D.apply(Annotation::shuttleParallel(
+      false, {0, 1}, {6.0 - P.MinAodSeparation - 0.1, 0.0})));
+}
+
+TEST(Device, ParallelShuttleRejectsMalformedBatches) {
+  FpqaDevice D = makeLoadedDevice();
+  // Empty set, arity mismatch, out-of-range index.
+  EXPECT_TRUE(
+      static_cast<bool>(D.apply(Annotation::shuttleParallel(false, {}, {}))));
+  EXPECT_TRUE(static_cast<bool>(
+      D.apply(Annotation::shuttleParallel(false, {0, 1}, {1.0}))));
+  EXPECT_TRUE(static_cast<bool>(
+      D.apply(Annotation::shuttleParallel(false, {0, 2}, {1.0, 1.0}))));
+  EXPECT_TRUE(static_cast<bool>(
+      D.apply(Annotation::shuttleParallel(true, {1}, {1.0}))));
+}
+
 TEST(Device, RamanLocalRequiresBoundQubit) {
   FpqaDevice D = makeLoadedDevice();
   EXPECT_FALSE(D.apply(Annotation::ramanLocal(0, 1, 2, 3)));
@@ -399,6 +467,28 @@ TEST(Analysis, RepeatedAxisBreaksBatch) {
   auto Stats = analyzePulseProgram(Program, P);
   ASSERT_TRUE(Stats.ok()) << Stats.message();
   EXPECT_EQ(Stats->ShuttleBatches, 2u);
+}
+
+TEST(Analysis, ParallelShuttleIsExactlyOneBatch) {
+  HardwareParams P;
+  std::vector<Annotation> Program = {
+      Annotation::aod({0.0, 6.0, 12.0}, {2.0}),
+      Annotation::shuttleParallel(false, {0, 1, 2}, {4.0, 2.0, 1.0}),
+      // A second parallel set over the same columns is a second AOD step —
+      // no merging across annotations.
+      Annotation::shuttleParallel(false, {0, 1}, {-1.0, -1.0}),
+      // Single-column shuttles after it still batch-reconstruct normally.
+      Annotation::shuttle(false, 2, 1.0),
+  };
+  auto Stats = analyzePulseProgram(Program, P);
+  ASSERT_TRUE(Stats.ok()) << Stats.message();
+  EXPECT_EQ(Stats->ShuttleInstructions, 6u);
+  EXPECT_EQ(Stats->ShuttleAnnotations, 3u);
+  EXPECT_EQ(Stats->ShuttleBatches, 3u);
+  EXPECT_EQ(Stats->MaxParallelShuttleWidth, 3u);
+  // Each parallel batch contributes max|offset| / speed.
+  double Expected = (4.0 + 1.0 + 1.0) / P.ShuttleSpeedUmPerSec;
+  EXPECT_NEAR(Stats->Duration, Expected, 1e-12);
 }
 
 TEST(Analysis, EpsAccumulatesGateErrors) {

@@ -358,6 +358,52 @@ TEST(PulseEmissionPass, StreamIsNonOwningViewIntoProgram) {
   EXPECT_EQ(I, Ctx.PulseStream.size());
 }
 
+TEST(GateLoweringPass, RejectsNonMonotoneColumnTargets) {
+  // The emitter batches each boundary placement as one parallel shuttle
+  // under the scheduler's monotone >= BumpGap target invariant; a
+  // schedule violating it must be rejected (the former multi-sweep
+  // fallback that silently handled it is gone).
+  CnfFormula F = sat::RandomSatGenerator(9).generate(10, 30);
+  CompilationContext Ctx;
+  Ctx.Formula = &F;
+  ASSERT_TRUE(ClauseColoringPass().run(Ctx).ok());
+  ASSERT_TRUE(ZonePlanningPass().run(Ctx).ok());
+  ASSERT_TRUE(ShuttleSchedulingPass().run(Ctx).ok());
+  for (BoundarySchedule &B : Ctx.Boundaries)
+    if (!B.Empty && B.ColumnTargets.size() >= 2) {
+      std::swap(B.ColumnTargets.front(), B.ColumnTargets.back());
+      break;
+    }
+  Status S = GateLoweringPass().run(Ctx);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("monotone"), std::string::npos) << S.message();
+}
+
+TEST(GateLoweringPass, BoundaryShuttleEmissionIsLinearInColumns) {
+  // The batched emitter must produce O(columns) @shuttle annotations per
+  // colour boundary (Algorithm 2's parallel pickup), not the former
+  // O(columns^2) bump-cascade stream. Bound the per-boundary annotation
+  // count by the column count itself (coefficient 1) across sizes.
+  for (int N : {20, 100}) {
+    sat::CnfFormula F = sat::satlibInstance(N, 1);
+    auto R = compileWeaver(F, WeaverOptions());
+    ASSERT_TRUE(R.ok()) << R.message();
+    size_t Columns = 0;
+    for (const qasm::Annotation &A : R->Program.Statements[0].Annotations)
+      if (A.Kind == qasm::AnnotationKind::Aod)
+        Columns = A.AodXs.size();
+    ASSERT_GT(Columns, 0u);
+    size_t Boundaries = static_cast<size_t>(R->Coloring.numColors());
+    EXPECT_LE(R->Stats.ShuttleAnnotations, Columns * Boundaries)
+        << "N=" << N << ": shuttle stream is super-linear in columns";
+    // Batching is real: parallel sets span many columns and the
+    // individual-move count far exceeds the annotation count.
+    EXPECT_GE(R->Stats.MaxParallelShuttleWidth, Columns / 2);
+    EXPECT_GT(R->Stats.ShuttleInstructions,
+              4 * R->Stats.ShuttleAnnotations);
+  }
+}
+
 TEST(WeaverCompiler, ReportsPerPassTimings) {
   auto R = compileWeaver(paperExample());
   ASSERT_TRUE(R.ok()) << R.message();

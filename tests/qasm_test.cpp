@@ -191,6 +191,30 @@ TEST(Wqasm, ParsesAllAnnotationForms) {
   EXPECT_EQ(Anns[9].Kind, AnnotationKind::Rydberg);
 }
 
+TEST(Wqasm, ParsesParallelShuttleForms) {
+  auto P = parseWqasm("qubit[1] q;\n"
+                      "@shuttle columns [0, 2, 3] [5, -1.5, 2]\n"
+                      "@shuttle rows [1] [-4]\n"
+                      "x q[0];\n");
+  ASSERT_TRUE(P.ok()) << P.message();
+  const auto &Anns = P->Statements[0].Annotations;
+  ASSERT_EQ(Anns.size(), 2u);
+  EXPECT_EQ(Anns[0].Kind, AnnotationKind::ShuttleParallel);
+  EXPECT_FALSE(Anns[0].ShuttleRow);
+  EXPECT_EQ(Anns[0].ShuttleIndices, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(Anns[0].ShuttleOffsets, (std::vector<double>{5, -1.5, 2}));
+  EXPECT_EQ(Anns[1].Kind, AnnotationKind::ShuttleParallel);
+  EXPECT_TRUE(Anns[1].ShuttleRow);
+  EXPECT_EQ(Anns[1].ShuttleIndices, (std::vector<int>{1}));
+  EXPECT_EQ(Anns[1].ShuttleOffsets, (std::vector<double>{-4}));
+}
+
+TEST(Wqasm, RejectsParallelShuttleArityMismatch) {
+  EXPECT_FALSE(
+      parseWqasm("qubit[1] q;\n@shuttle columns [0, 1] [5]\nx q[0];\n")
+          .ok());
+}
+
 TEST(Wqasm, TrailingAnnotationsPreserved) {
   auto P = parseWqasm("qubit[1] q;\nh q[0];\n@shuttle row 0 1\n");
   ASSERT_TRUE(P.ok()) << P.message();
@@ -211,7 +235,9 @@ TEST(Wqasm, AnnotationStrRoundTrips) {
       "@bind q[3] slm 2",         "@bind q[4] aod 1 0",
       "@transfer 2 (0, 1)",       "@shuttle row 0 7.5",
       "@shuttle column 1 -2.5",   "@raman global 0 1.5 0",
-      "@raman local q[3] 0 0 2",  "@rydberg"};
+      "@raman local q[3] 0 0 2",  "@rydberg",
+      "@shuttle columns [0, 2, 5] [5, -1.5, 2]",
+      "@shuttle rows [0, 1] [2, 2]"};
   for (const char *Line : Lines) {
     std::string Source = std::string("qubit[9] q;\n") + Line + "\nh q[0];\n";
     auto P = parseWqasm(Source);

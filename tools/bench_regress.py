@@ -4,7 +4,15 @@
 Compares every benchmark (matched by file name + benchmark name) between a
 current bench-smoke directory and a baseline (the previous CI run's
 artifact, or the committed bench/baselines seed) and emits a GitHub
-warning annotation for every per-benchmark slowdown beyond the threshold.
+warning annotation for:
+
+- every per-benchmark real-time slowdown beyond the threshold, and
+- every deterministic user counter (pulse counts, emitted-annotation
+  counts, wQASM bytes, ...) that grew beyond the threshold. Those
+  counters are exact outputs of the compiler, so a counter regression is
+  a real output-size regression, not timing noise. Timing-derived
+  counters (latency percentiles like p99_ms, scheduling-dependent
+  ratios) are excluded from the check — they are as noisy as real_time.
 
 Exit code is always 0: smoke timings on shared CI runners are noisy, so
 regressions warn-annotate rather than fail the build.
@@ -19,9 +27,30 @@ import json
 import os
 import sys
 
+# Keys of a google-benchmark JSON entry that are not user counters.
+STANDARD_KEYS = {
+    "name", "run_name", "run_type", "family_index", "per_family_instance_index",
+    "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "big_o", "rms", "label", "error_occurred", "error_message",
+}
+
+# Counters derived from wall-clock measurements or scheduling order
+# (bench_service latency percentiles, coalescing ratios): run-over-run
+# comparison of these is timing noise, so the growth check skips them.
+NOISY_COUNTER_SUFFIXES = ("_ms", "_us", "_ns", "_sec")
+NOISY_COUNTERS = {"coalesced"}
+
+
+def is_noisy_counter(name):
+    return name in NOISY_COUNTERS or name.endswith(NOISY_COUNTER_SUFFIXES)
+
 
 def load_benchmarks(path):
-    """Returns {benchmark name: real_time in ns} for one JSON file."""
+    """Returns {benchmark name: {metric: value}} for one JSON file.
+
+    Every entry carries "real_time" plus one key per user counter.
+    """
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -34,14 +63,22 @@ def load_benchmarks(path):
         if bench.get("run_type") and bench["run_type"] != "iteration":
             continue
         name = bench.get("name")
+        if name is None:
+            continue
+        metrics = {}
         real = bench.get("real_time")
-        if name is not None and isinstance(real, (int, float)):
-            out[name] = float(real)
+        if isinstance(real, (int, float)):
+            metrics["real_time"] = float(real)
+        for key, value in bench.items():
+            if key not in STANDARD_KEYS and isinstance(value, (int, float)):
+                metrics[key] = float(value)
+        if metrics:
+            out[name] = metrics
     return out
 
 
 def collect(directory):
-    """Returns {file name: {benchmark name: real_time}} for BENCH_*.json.
+    """Returns {file name: {benchmark name: {metric: value}}}.
 
     Walks recursively: each bench-smoke test writes into its own
     subdirectory (so parallel ctest runs cannot collide on files), and
@@ -65,8 +102,8 @@ def main():
     parser.add_argument("--baseline", required=True,
                         help="directory with the reference BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="relative slowdown that triggers a warning "
-                             "(default 0.20 = 20%%)")
+                        help="relative slowdown/growth that triggers a "
+                             "warning (default 0.20 = 20%%)")
     args = parser.parse_args()
 
     current = collect(args.current)
@@ -81,34 +118,45 @@ def main():
         return 0
 
     # Benchmarks match primarily within the same-named file; a merged
-    # name->time map covers baselines stored under a different file name
-    # (e.g. the committed BENCH_backhalf.json seed).
+    # name->metrics map covers baselines stored under a different file name
+    # (e.g. the committed seeds under bench/baselines/).
     merged = {}
     for benches in baseline.values():
         merged.update(benches)
 
     compared = 0
-    slowdowns = []
+    regressions = []
     for fname, benches in sorted(current.items()):
         base = baseline.get(fname, {})
-        for name, real in sorted(benches.items()):
-            ref = base.get(name)
-            if ref is None:  # e.g. a benchmark added since the baseline run
-                ref = merged.get(name)
-            if ref is None or ref <= 0:
+        for name, metrics in sorted(benches.items()):
+            ref_metrics = base.get(name)
+            if ref_metrics is None:  # e.g. a benchmark added since the baseline
+                ref_metrics = merged.get(name)
+            if ref_metrics is None:
                 print(f"bench-regress: no baseline for {name}; skipping")
                 continue
-            compared += 1
-            ratio = real / ref
-            if ratio > 1.0 + args.threshold:
-                slowdowns.append((fname, name, ref, real, ratio))
+            for metric, value in sorted(metrics.items()):
+                if metric != "real_time" and is_noisy_counter(metric):
+                    continue
+                ref = ref_metrics.get(metric)
+                if ref is None or ref <= 0:
+                    continue
+                compared += 1
+                ratio = value / ref
+                if ratio > 1.0 + args.threshold:
+                    regressions.append((fname, name, metric, ref, value,
+                                        ratio))
 
-    for fname, name, ref, real, ratio in slowdowns:
+    for fname, name, metric, ref, value, ratio in regressions:
         # GitHub Actions warning annotation; plain text elsewhere.
-        print(f"::warning file={fname}::{name} slowed {ratio:.2f}x "
-              f"({ref / 1e6:.3f} ms -> {real / 1e6:.3f} ms)")
-    print(f"bench-regress: compared {compared} benchmarks, "
-          f"{len(slowdowns)} beyond the {args.threshold:.0%} threshold")
+        if metric == "real_time":
+            print(f"::warning file={fname}::{name} slowed {ratio:.2f}x "
+                  f"({ref / 1e6:.3f} ms -> {value / 1e6:.3f} ms)")
+        else:
+            print(f"::warning file={fname}::{name} counter '{metric}' grew "
+                  f"{ratio:.2f}x ({ref:.0f} -> {value:.0f})")
+    print(f"bench-regress: compared {compared} metrics, "
+          f"{len(regressions)} beyond the {args.threshold:.0%} threshold")
     return 0
 
 

@@ -1,0 +1,105 @@
+//===- tools/regen_goldens.cpp - Rewrite the golden wQASM programs --------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates every tests/data/*.wqasm golden from the current compiler.
+/// The goldens pin the emitted byte stream (tests/pipeline_test.cpp), so
+/// any PR that intentionally changes output — like the batched parallel
+/// shuttle emission — reruns this tool, eyeballs the diff, and commits the
+/// new files. Each program is structurally validated through the wChecker
+/// before it is written: the tool refuses to pin an invalid stream.
+///
+/// Usage: regen_goldens [output-dir]   (default: the source tests/data)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/WChecker.h"
+#include "core/WeaverCompiler.h"
+#include "qasm/Printer.h"
+#include "sat/Generator.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace weaver;
+using sat::Clause;
+using sat::CnfFormula;
+
+namespace {
+
+#ifndef WEAVER_GOLDEN_DIR
+#define WEAVER_GOLDEN_DIR "tests/data"
+#endif
+
+/// The formula behind golden_seed<seed>*.wqasm (tests/pipeline_test.cpp).
+CnfFormula goldenFormula(uint64_t Seed) {
+  return sat::RandomSatGenerator(Seed).generate(12, 36);
+}
+
+/// The formula behind golden_mixed.wqasm: mixed clause widths, two QAOA
+/// layers, measured.
+CnfFormula mixedFormula() {
+  return CnfFormula(5, {Clause{1}, Clause{-2, 3}, Clause{-3, -4, -5},
+                        Clause{2, 4}, Clause{-1, 4, 5}});
+}
+
+bool writeGolden(const std::string &Dir, const std::string &Name,
+                 const CnfFormula &Formula,
+                 const core::WeaverOptions &Options) {
+  auto R = core::compileWeaver(Formula, Options);
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s: compile failed: %s\n", Name.c_str(),
+                 R.message().c_str());
+    return false;
+  }
+  core::CheckReport Report = core::checkWqasm(R->Program, Options.Hw);
+  if (!Report.StructuralOk) {
+    std::fprintf(stderr, "%s: wChecker rejected the program: %s\n",
+                 Name.c_str(), Report.Diagnostic.c_str());
+    return false;
+  }
+  std::string Path = Dir + "/" + Name;
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out.good()) {
+    std::fprintf(stderr, "%s: cannot open for writing\n", Path.c_str());
+    return false;
+  }
+  std::string Text = qasm::printWqasm(R->Program);
+  Out << Text;
+  std::printf("wrote %s (%zu bytes, %zu shuttle annotations)\n",
+              Path.c_str(), Text.size(), R->Stats.ShuttleAnnotations);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Dir = argc > 1 ? argv[1] : WEAVER_GOLDEN_DIR;
+  bool Ok = true;
+  for (uint64_t Seed : {7u, 21u, 42u}) {
+    std::string Base = "golden_seed" + std::to_string(Seed);
+    core::WeaverOptions Default;
+    Ok &= writeGolden(Dir, Base + ".wqasm", goldenFormula(Seed), Default);
+    core::WeaverOptions Ladder;
+    Ladder.Compression = core::WeaverOptions::CompressionMode::Off;
+    Ok &= writeGolden(Dir, Base + "_ladder.wqasm", goldenFormula(Seed),
+                      Ladder);
+    core::WeaverOptions NoReuse;
+    NoReuse.ReuseAodAtoms = false;
+    Ok &= writeGolden(Dir, Base + "_noreuse.wqasm", goldenFormula(Seed),
+                      NoReuse);
+  }
+  core::WeaverOptions Mixed;
+  Mixed.Qaoa.Layers = 2;
+  Mixed.Measure = true;
+  Ok &= writeGolden(Dir, "golden_mixed.wqasm", mixedFormula(), Mixed);
+  if (!Ok) {
+    std::fprintf(stderr, "golden regeneration FAILED\n");
+    return 1;
+  }
+  return 0;
+}
