@@ -1,0 +1,184 @@
+//===- bench/bench_persist.cpp - Persistent cache warm-start cost ---------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures what the persistent PassCache buys and what it costs:
+///
+///  * BM_SweepCold / BM_SweepWarmMemory / BM_SweepWarmDisk: one full
+///    gamma/beta sweep per iteration — from nothing, from an already-warm
+///    in-process cache, and from a fresh cache warm-started off a
+///    snapshot file. The disk-warm case is the restart scenario; the
+///    design target is disk-warm within ~1.2x of memory-warm, because a
+///    load deserializes only the key index and sections materialize
+///    lazily on first hit.
+///
+///  * BM_SnapshotSave / BM_SnapshotLoad: the file operations themselves.
+///    Load is index-only, so its time stays flat in payload size;
+///    snapshot_bytes (a deterministic counter) tracks the format's
+///    footprint per suite size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/pipeline/PassCache.h"
+#include "support/BinaryIO.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace weaver;
+using namespace weaver::bench;
+
+namespace {
+
+constexpr int SweepPoints = 10;
+
+/// The benches run with a per-binary working directory (see the
+/// bench-smoke setup in CMakeLists), so relative snapshot paths cannot
+/// collide across binaries.
+std::string snapshotPath(int N) {
+  return "bench_persist_cache_" + std::to_string(N) + ".bin";
+}
+
+double sweepSeconds(const sat::CnfFormula &F,
+                    core::pipeline::PassCache *Cache) {
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < SweepPoints; ++I) {
+    core::WeaverOptions Opt;
+    Opt.Qaoa.Gamma = 0.30 + 0.05 * I;
+    Opt.Qaoa.Beta = 0.20 + 0.03 * I;
+    Opt.Cache = Cache;
+    auto R = core::compileWeaver(F, Opt);
+    benchmark::DoNotOptimize(R);
+    if (!R)
+      std::fprintf(stderr, "sweep compile failed: %s\n",
+                   R.message().c_str());
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Builds the snapshot file for suite size \p N (once per size) and
+/// returns its byte count.
+size_t ensureSnapshot(const sat::CnfFormula &F, int N) {
+  core::pipeline::PassCache Cache;
+  sweepSeconds(F, &Cache);
+  Status S = Cache.saveSnapshot(snapshotPath(N));
+  if (S) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", S.message().c_str());
+    return 0;
+  }
+  auto Mapped = MappedFile::open(snapshotPath(N));
+  return Mapped ? Mapped->size() : 0;
+}
+
+void BM_SweepCold(benchmark::State &State) {
+  sat::CnfFormula F =
+      sat::satlibInstance(static_cast<int>(State.range(0)), 1);
+  for (auto _ : State) {
+    core::pipeline::PassCache Cache;
+    benchmark::DoNotOptimize(sweepSeconds(F, &Cache));
+  }
+}
+BENCHMARK(BM_SweepCold)->Arg(50)->Arg(100)->Arg(250);
+
+void BM_SweepWarmMemory(benchmark::State &State) {
+  sat::CnfFormula F =
+      sat::satlibInstance(static_cast<int>(State.range(0)), 1);
+  core::pipeline::PassCache Cache;
+  sweepSeconds(F, &Cache); // warm the template before timing
+  for (auto _ : State)
+    benchmark::DoNotOptimize(sweepSeconds(F, &Cache));
+}
+BENCHMARK(BM_SweepWarmMemory)->Arg(50)->Arg(100)->Arg(250);
+
+void BM_SweepWarmDisk(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  sat::CnfFormula F = sat::satlibInstance(N, 1);
+  size_t Bytes = ensureSnapshot(F, N);
+  uint64_t Materialized = 0;
+  for (auto _ : State) {
+    // The restart: a brand-new cache object, warm-started from disk.
+    core::pipeline::PassCache Cache;
+    if (Cache.loadSnapshot(snapshotPath(N)))
+      State.SkipWithError("snapshot load failed");
+    benchmark::DoNotOptimize(sweepSeconds(F, &Cache));
+    Materialized = Cache.stats().Materializations;
+  }
+  State.counters["snapshot_bytes"] = static_cast<double>(Bytes);
+  State.counters["materialized"] = static_cast<double>(Materialized);
+  std::remove(snapshotPath(N).c_str());
+}
+BENCHMARK(BM_SweepWarmDisk)->Arg(50)->Arg(100)->Arg(250);
+
+void BM_SnapshotSave(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  sat::CnfFormula F = sat::satlibInstance(N, 1);
+  core::pipeline::PassCache Cache;
+  sweepSeconds(F, &Cache);
+  for (auto _ : State) {
+    Status S = Cache.saveSnapshot(snapshotPath(N));
+    benchmark::DoNotOptimize(S);
+  }
+  std::remove(snapshotPath(N).c_str());
+}
+BENCHMARK(BM_SnapshotSave)->Arg(50)->Arg(250);
+
+void BM_SnapshotLoad(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  sat::CnfFormula F = sat::satlibInstance(N, 1);
+  size_t Bytes = ensureSnapshot(F, N);
+  for (auto _ : State) {
+    // Index-only deserialization: no section payload is parsed here.
+    core::pipeline::PassCache Cache;
+    if (Cache.loadSnapshot(snapshotPath(N)))
+      State.SkipWithError("snapshot load failed");
+    benchmark::DoNotOptimize(Cache.size());
+  }
+  State.counters["snapshot_bytes"] = static_cast<double>(Bytes);
+  std::remove(snapshotPath(N).c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(50)->Arg(250);
+
+void printTable() {
+  Table T({"variables", "cold [s]", "warm mem [s]", "warm disk [s]",
+           "disk/mem", "snapshot [KiB]"});
+  for (int N : {50, 100, 250}) {
+    sat::CnfFormula F = sat::satlibInstance(N, 1);
+
+    core::pipeline::PassCache ColdCache;
+    double Cold = sweepSeconds(F, &ColdCache);
+    double WarmMem = sweepSeconds(F, &ColdCache);
+
+    size_t Bytes = ensureSnapshot(F, N);
+    core::pipeline::PassCache DiskCache;
+    double WarmDisk = 0;
+    if (!DiskCache.loadSnapshot(snapshotPath(N)))
+      WarmDisk = sweepSeconds(F, &DiskCache);
+    std::remove(snapshotPath(N).c_str());
+
+    T.addRow({std::to_string(N), formatf("%.3f", Cold),
+              formatf("%.3f", WarmMem), formatf("%.3f", WarmDisk),
+              formatf("%.2fx", WarmMem > 0 ? WarmDisk / WarmMem : 0.0),
+              formatf("%.1f", Bytes / 1024.0)});
+  }
+  std::printf("== %d-point sweep: cold vs in-process warm vs disk "
+              "warm-start ==\n%s\n",
+              SweepPoints, T.render().c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (weaver::bench::tablesEnabled())
+    printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -16,6 +16,11 @@
 /// Optionally reads a real DIMACS file instead:
 ///   satlib_sweep path/to/instance.cnf
 ///
+/// With --cache-file PATH the cached sweep warm-starts from the persisted
+/// PassCache snapshot at PATH (when present and valid) and writes the
+/// populated cache back when the sweep finishes — a second run then
+/// serves every template from disk (see pipeline/PassCache.h).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/BatchCompiler.h"
@@ -29,6 +34,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 using namespace weaver;
 
@@ -81,7 +87,10 @@ runSweep(const baselines::Backend &Backend,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc > 1)
+  std::string CacheFile;
+  if (Argc == 3 && std::string(Argv[1]) == "--cache-file")
+    CacheFile = Argv[2];
+  else if (Argc > 1)
     return runSingleFile(Argv[1]);
 
   // One flat batch over all sizes; the pool balances the mixed instance
@@ -102,6 +111,12 @@ int main(int Argc, char **Argv) {
                        .count();
 
   core::pipeline::PassCache Cache;
+  size_t Loaded = 0;
+  if (!CacheFile.empty()) {
+    // A missing/stale/corrupt snapshot is just a cold start.
+    if (!Cache.loadSnapshot(CacheFile))
+      Loaded = Cache.size();
+  }
   core::WeaverOptions WOpt;
   WOpt.Cache = &Cache;
   baselines::WeaverBackend CachedBackend(WOpt);
@@ -153,5 +168,14 @@ int main(int Argc, char **Argv) {
               WallOff, WallOn, WallOff / WallOn,
               static_cast<unsigned long long>(CS.ProgramHits),
               static_cast<unsigned long long>(CS.ProgramMisses));
+  if (!CacheFile.empty()) {
+    Status S = Cache.saveSnapshot(CacheFile);
+    if (S)
+      std::fprintf(stderr, "warning: cache flush failed: %s\n",
+                   S.message().c_str());
+    else
+      std::printf("cache file %s: %zu entries loaded, %zu persisted\n",
+                  CacheFile.c_str(), Loaded, Cache.size());
+  }
   return 0;
 }

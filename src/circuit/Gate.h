@@ -90,6 +90,19 @@ public:
       ParamStorage[I++] = P;
   }
 
+  /// Rebuilds a gate from its raw storage arrays (binary deserialization;
+  /// see support/BinaryIO.h). Slots beyond the kind's arity/parameter
+  /// count must hold the default 0 so the result is indistinguishable
+  /// from a normally constructed gate.
+  static Gate fromStorage(GateKind Kind, const std::array<int, 3> &Qubits,
+                          const std::array<double, 3> &Params) {
+    Gate G;
+    G.Kind = Kind;
+    G.QubitStorage = Qubits;
+    G.ParamStorage = Params;
+    return G;
+  }
+
   GateKind kind() const { return Kind; }
   unsigned numQubits() const { return gateArity(Kind); }
   unsigned numParams() const { return gateNumParams(Kind); }

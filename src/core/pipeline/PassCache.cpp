@@ -122,10 +122,12 @@ const T *findExact(MapT &Map, const PassCacheKey &Key) {
 
 PassCacheEntry PassCache::lookupProgram(const PassCacheKey &Key) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  if (const PassCacheEntry *E = findExact<PassCacheEntry>(ProgramMap, Key)) {
-    ++Counts.ProgramHits;
-    return *E;
-  }
+  if (const auto *Cell =
+          findExact<std::shared_ptr<ProgramCell>>(ProgramMap, Key))
+    if (materializeProgramLocked(**Cell)) {
+      ++Counts.ProgramHits;
+      return {(*Cell)->Front->Value, (*Cell)->Value};
+    }
   ++Counts.ProgramMisses;
   return {};
 }
@@ -133,47 +135,79 @@ PassCacheEntry PassCache::lookupProgram(const PassCacheKey &Key) {
 std::shared_ptr<const FrontHalfSections>
 PassCache::lookupFront(const PassCacheKey &Key) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  if (const auto *F =
-          findExact<std::shared_ptr<const FrontHalfSections>>(FrontMap, Key)) {
-    ++Counts.FrontHits;
-    return *F;
-  }
+  if (const auto *Cell = findExact<std::shared_ptr<FrontCell>>(FrontMap, Key))
+    if (materializeFrontLocked(**Cell)) {
+      ++Counts.FrontHits;
+      return (*Cell)->Value;
+    }
   ++Counts.FrontMisses;
   return nullptr;
+}
+
+void PassCache::evictForInsertLocked() {
+  if (MaxEntries && NumEntries + 1 > MaxEntries) {
+    FrontMap.clear();
+    ProgramMap.clear(); // also drops any mapped snapshot references
+    NumEntries = 0;
+  }
 }
 
 std::shared_ptr<const FrontHalfSections>
 PassCache::insertFront(const PassCacheKey &Key, FrontHalfSections Sections) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  if (const auto *F =
-          findExact<std::shared_ptr<const FrontHalfSections>>(FrontMap, Key))
-    return *F; // another worker compiled the same formula first
-  if (MaxEntries && NumEntries + 1 > MaxEntries) {
-    FrontMap.clear();
-    ProgramMap.clear();
-    NumEntries = 0;
+  if (const auto *Cell =
+          findExact<std::shared_ptr<FrontCell>>(FrontMap, Key)) {
+    // Another worker compiled the same formula first — or the slot came
+    // from a snapshot whose payload failed to parse; refill it then.
+    if (!(*Cell)->Value)
+      (*Cell)->Value =
+          std::make_shared<const FrontHalfSections>(std::move(Sections));
+    return (*Cell)->Value;
   }
-  auto Shared = std::make_shared<const FrontHalfSections>(std::move(Sections));
-  FrontMap[Key.hash()].push_back({Key, Shared});
+  evictForInsertLocked();
+  auto Cell = std::make_shared<FrontCell>();
+  Cell->Value = std::make_shared<const FrontHalfSections>(std::move(Sections));
+  FrontMap[Key.hash()].push_back({Key, Cell});
   ++NumEntries;
-  return Shared;
+  return Cell->Value;
 }
 
 void PassCache::insertProgram(const PassCacheKey &Key,
+                              const PassCacheKey &FrontKey,
                               std::shared_ptr<const FrontHalfSections> Front,
                               ProgramSections Sections) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  if (findExact<PassCacheEntry>(ProgramMap, Key))
+  if (const auto *Cell =
+          findExact<std::shared_ptr<ProgramCell>>(ProgramMap, Key)) {
+    if ((*Cell)->Value)
+      return;
+    // Unparseable snapshot slot: refill it in place.
+    (*Cell)->Value =
+        std::make_shared<const ProgramSections>(std::move(Sections));
+    if (!(*Cell)->Front->Value)
+      (*Cell)->Front->Value = std::move(Front);
     return;
-  if (MaxEntries && NumEntries + 1 > MaxEntries) {
-    FrontMap.clear();
-    ProgramMap.clear();
-    NumEntries = 0;
   }
-  PassCacheEntry E;
-  E.Front = std::move(Front);
-  E.Back = std::make_shared<const ProgramSections>(std::move(Sections));
-  ProgramMap[Key.hash()].push_back({Key, std::move(E)});
+  evictForInsertLocked();
+  // Link the template to the front cell stored under FrontKey so one
+  // front payload serves both tiers (in memory and in a snapshot).
+  std::shared_ptr<FrontCell> FCell;
+  if (const auto *Existing =
+          findExact<std::shared_ptr<FrontCell>>(FrontMap, FrontKey)) {
+    FCell = *Existing;
+    if (!FCell->Value)
+      FCell->Value = std::move(Front);
+  } else {
+    FCell = std::make_shared<FrontCell>();
+    FCell->Value = std::move(Front);
+    evictForInsertLocked();
+    FrontMap[FrontKey.hash()].push_back({FrontKey, FCell});
+    ++NumEntries;
+  }
+  auto PCell = std::make_shared<ProgramCell>();
+  PCell->Front = std::move(FCell);
+  PCell->Value = std::make_shared<const ProgramSections>(std::move(Sections));
+  ProgramMap[Key.hash()].push_back({Key, std::move(PCell)});
   ++NumEntries;
 }
 

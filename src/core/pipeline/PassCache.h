@@ -27,6 +27,19 @@
 /// hash collisions cannot alias entries. All operations are mutex-guarded:
 /// one cache may be shared by every worker of a BatchCompiler sweep.
 ///
+/// The cache is also durable: saveSnapshot() serializes both tiers to a
+/// versioned, checksummed file keyed by the key payloads plus a compiler
+/// fingerprint (git hash + format/schema versions), and loadSnapshot()
+/// mmaps such a file back. Loading deserializes only the key index; the
+/// section payloads stay in the mapping and are materialized lazily on
+/// the first hit, so a warm start costs index deserialization, not
+/// template re-materialization. Any defect in a cache file — truncation,
+/// checksum mismatch, wrong version or fingerprint — fails the load and
+/// leaves the cache to compile cold; a hostile file can never crash the
+/// process or alias a wrong entry. Multi-process sweeps persist one
+/// segment file per shard (same format) and compact them with
+/// mergeSnapshots(); see tools/shard_sweep.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEAVER_CORE_PIPELINE_PASSCACHE_H
@@ -36,9 +49,13 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 namespace weaver {
+
+class MappedFile;
+
 namespace core {
 namespace pipeline {
 
@@ -57,6 +74,17 @@ public:
   uint64_t hash() const { return Hash; }
   friend bool operator==(const PassCacheKey &A, const PassCacheKey &B) {
     return A.Hash == B.Hash && A.Words == B.Words;
+  }
+
+  /// The exact payload; what the snapshot format persists per entry.
+  const std::vector<uint64_t> &words() const { return Words; }
+  /// Rebuilds a key from a persisted payload (the hash is recomputed, so
+  /// a corrupted payload simply becomes a key that matches nothing).
+  static PassCacheKey fromWords(std::vector<uint64_t> W) {
+    PassCacheKey K;
+    K.Words = std::move(W);
+    K.finish();
+    return K;
   }
 
 private:
@@ -104,6 +132,29 @@ struct PassCacheEntryBuilder {
   bool SavedStats = false;
 };
 
+// --- Persistence constants (on-disk snapshot format v1) ------------------
+//
+// Layout: a 40-byte header followed by the payload.
+//   [0]  u64 magic ("WVRCACHE", little-endian)
+//   [8]  u32 format version
+//   [12] u32 reserved (0)
+//   [16] u64 compiler fingerprint (see compilerFingerprint())
+//   [24] u64 payload byte count
+//   [32] u64 FNV-1a checksum of the payload
+//   [40] payload: front-section pool, front-tier index, program-tier
+//        index (see PassCachePersist.cpp)
+// Tests patch these offsets directly to forge hostile headers.
+inline constexpr uint64_t SnapshotMagic = 0x4548434143525657ull; // "WVRCACHE"
+inline constexpr uint32_t SnapshotFormatVersion = 1;
+inline constexpr size_t SnapshotHeaderBytes = 40;
+
+/// Identity of the compiler that wrote a snapshot: git hash baked in at
+/// configure time, the snapshot format version, and the option-schema
+/// sizes the cache keys enumerate. Any mismatch invalidates a cache file
+/// wholesale — a stale template from another compiler build must never
+/// be instantiated.
+uint64_t compilerFingerprint();
+
 /// Thread-safe two-tier memoisation store. See file comment.
 class PassCache {
 public:
@@ -115,6 +166,9 @@ public:
     uint64_t FrontMisses = 0;
     uint64_t ProgramHits = 0;
     uint64_t ProgramMisses = 0;
+    /// Sections parsed on demand out of a mapped snapshot — how many
+    /// hits were served from disk rather than from in-process inserts.
+    uint64_t Materializations = 0;
   };
 
   /// \p MaxEntries bounds the total entry count across both tiers; the
@@ -131,10 +185,38 @@ public:
   /// cached one when another worker raced the insertion).
   std::shared_ptr<const FrontHalfSections>
   insertFront(const PassCacheKey &Key, FrontHalfSections Sections);
-  /// Inserts a program template linked to its front sections.
-  void insertProgram(const PassCacheKey &Key,
+  /// Inserts a program template linked to the front sections stored under
+  /// \p FrontKey (inserting \p Front there first when absent — the link
+  /// is what lets a snapshot share one front payload between tiers).
+  void insertProgram(const PassCacheKey &Key, const PassCacheKey &FrontKey,
                      std::shared_ptr<const FrontHalfSections> Front,
                      ProgramSections Sections);
+
+  // --- Persistence (implemented in PassCachePersist.cpp) ----------------
+
+  /// Serializes both tiers to \p Path atomically (temp + rename). Entries
+  /// that were loaded from a snapshot and never materialized are copied
+  /// byte-for-byte, so a load-then-save round trip (the shard merge path)
+  /// never parses section payloads. \p Fingerprint defaults to this
+  /// build's compilerFingerprint(); tests override it to forge mismatches.
+  Status saveSnapshot(const std::string &Path) const;
+  Status saveSnapshot(const std::string &Path, uint64_t Fingerprint) const;
+
+  /// Maps \p Path and merges its entries into this cache (keys already
+  /// present are kept, not overwritten — first writer wins). Only the key
+  /// index is deserialized here; section payloads materialize lazily on
+  /// first hit. On any validation failure (unreadable, truncated, bad
+  /// magic/version/checksum, fingerprint != \p ExpectFingerprint) nothing
+  /// is inserted and the error is returned — callers fall back to a cold
+  /// compile.
+  Status loadSnapshot(const std::string &Path);
+  Status loadSnapshot(const std::string &Path, uint64_t ExpectFingerprint);
+
+  /// Compacts shard segment files into one snapshot: loads every input
+  /// (first file wins on duplicate keys) and saves the union to
+  /// \p Output. Fails on the first unreadable/invalid input.
+  static Status mergeSnapshots(const std::vector<std::string> &Inputs,
+                               const std::string &Output);
 
   CacheStats stats() const;
   /// Total entries across both tiers.
@@ -142,13 +224,43 @@ public:
   void clear();
 
 private:
+  /// Byte range of a section payload inside a mapped snapshot; File is
+  /// null for entries inserted in-process.
+  struct LazyBlob {
+    std::shared_ptr<MappedFile> File;
+    size_t Offset = 0;
+    size_t Len = 0;
+  };
+  /// One stored front-half section set: either materialized (Value set),
+  /// or still a byte range of the snapshot it was loaded from. Shared by
+  /// the front tier and every program entry built on it.
+  struct FrontCell {
+    std::shared_ptr<const FrontHalfSections> Value;
+    LazyBlob Blob;
+  };
+  /// One stored program template, linked to its front cell.
+  struct ProgramCell {
+    std::shared_ptr<FrontCell> Front;
+    std::shared_ptr<const ProgramSections> Value;
+    LazyBlob Blob;
+  };
+
   template <typename T>
   using KeyedMap =
       std::unordered_map<uint64_t, std::vector<std::pair<PassCacheKey, T>>>;
 
+  /// Parse-on-demand of a loaded cell; return false (a miss) on a parse
+  /// failure — insertFront/insertProgram then refill the slot. Callers
+  /// hold Mutex.
+  bool materializeFrontLocked(FrontCell &Cell);
+  bool materializeProgramLocked(ProgramCell &Cell);
+  /// Flushes both tiers when an insertion would exceed MaxEntries;
+  /// caller holds Mutex.
+  void evictForInsertLocked();
+
   mutable std::mutex Mutex;
-  KeyedMap<std::shared_ptr<const FrontHalfSections>> FrontMap;
-  KeyedMap<PassCacheEntry> ProgramMap;
+  KeyedMap<std::shared_ptr<FrontCell>> FrontMap;
+  KeyedMap<std::shared_ptr<ProgramCell>> ProgramMap;
   CacheStats Counts;
   size_t MaxEntries;
   size_t NumEntries = 0;

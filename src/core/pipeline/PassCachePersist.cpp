@@ -1,0 +1,683 @@
+//===- core/pipeline/PassCachePersist.cpp - On-disk PassCache -------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable half of the PassCache: serialization of both cache tiers
+/// to the versioned, checksummed snapshot format described in
+/// PassCache.h, mmap-backed loading with a lazily materialized section
+/// index, and the shard-segment merge step.
+///
+/// Payload layout (after the 40-byte header):
+///
+///   u64 pool count
+///     per pool slot: u64 byte length + FrontHalfSections payload
+///   u64 front-tier entry count
+///     per entry: key (u64 word count + words) + u64 pool index
+///   u64 program-tier entry count
+///     per entry: key + u64 pool index (the linked front sections)
+///                + u64 byte length + ProgramSections payload
+///
+/// The pool deduplicates front sections shared between a front-tier
+/// entry and the program templates built on it. Entries are sorted by
+/// key payload, so saving the same cache twice produces identical bytes.
+///
+/// Every parse runs through the bounds-checked BinaryReader and
+/// validates enum ranges and angle-slot indices, so even a crafted
+/// checksum-valid payload can only ever produce a cache miss — never an
+/// out-of-bounds access at instantiation time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/pipeline/PassCache.h"
+
+#include "support/BinaryIO.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace weaver;
+using namespace weaver::core;
+using namespace weaver::core::pipeline;
+
+#ifndef WEAVER_GIT_HASH
+#define WEAVER_GIT_HASH "unknown"
+#endif
+
+uint64_t pipeline::compilerFingerprint() {
+  const char Hash[] = WEAVER_GIT_HASH;
+  uint64_t H = fnv1a64(Hash, sizeof(Hash) - 1);
+  // Option-schema identity: the sizes the key serializers enumerate by
+  // hand (their static_asserts force a review here too) plus the enum
+  // cardinalities the section payloads depend on.
+  const uint64_t Schema[] = {
+      SnapshotFormatVersion,
+      sizeof(core::Layout),
+      sizeof(fpqa::HardwareParams),
+      sizeof(AngleSlot),
+      circuit::NumGateKinds,
+      static_cast<uint64_t>(qasm::AnnotationKind::Rydberg) + 1,
+  };
+  return fnv1a64(Schema, sizeof(Schema), H);
+}
+
+// --- Section serializers -------------------------------------------------
+
+namespace {
+
+/// Exact-payload lookup over one hash bucket (same helper as the
+/// in-memory store in PassCache.cpp).
+template <typename T, typename MapT>
+const T *findExact(MapT &Map, const PassCacheKey &Key) {
+  auto It = Map.find(Key.hash());
+  if (It == Map.end())
+    return nullptr;
+  for (const std::pair<PassCacheKey, T> &Entry : It->second)
+    if (Entry.first == Key)
+      return &Entry.second;
+  return nullptr;
+}
+
+void writeAnnotation(const qasm::Annotation &A, BinaryWriter &W) {
+  W.writeU8(static_cast<uint8_t>(A.Kind));
+  W.writeU64(A.TrapPositions.size());
+  for (const Vec2 &P : A.TrapPositions) {
+    W.writeF64(P.X);
+    W.writeF64(P.Y);
+  }
+  W.writeU64(A.AodXs.size());
+  for (double X : A.AodXs)
+    W.writeF64(X);
+  W.writeU64(A.AodYs.size());
+  for (double Y : A.AodYs)
+    W.writeF64(Y);
+  W.writeI64(A.Qubit);
+  W.writeU8(A.BindToSlm);
+  W.writeI64(A.SlmIndex);
+  W.writeI64(A.AodCol);
+  W.writeI64(A.AodRow);
+  W.writeU8(A.ShuttleRow);
+  W.writeI64(A.ShuttleIndex);
+  W.writeF64(A.Offset);
+  W.writeU64(A.ShuttleIndices.size());
+  for (int I : A.ShuttleIndices)
+    W.writeI64(I);
+  W.writeU64(A.ShuttleOffsets.size());
+  for (double O : A.ShuttleOffsets)
+    W.writeF64(O);
+  W.writeF64(A.AngleX);
+  W.writeF64(A.AngleY);
+  W.writeF64(A.AngleZ);
+}
+
+bool readAnnotation(BinaryReader &R, qasm::Annotation &A) {
+  uint8_t Kind = R.readU8();
+  if (Kind > static_cast<uint8_t>(qasm::AnnotationKind::Rydberg)) {
+    R.fail();
+    return false;
+  }
+  A.Kind = static_cast<qasm::AnnotationKind>(Kind);
+  size_t N = R.readLength(16);
+  A.TrapPositions.resize(N);
+  for (Vec2 &P : A.TrapPositions) {
+    P.X = R.readF64();
+    P.Y = R.readF64();
+  }
+  N = R.readLength(8);
+  A.AodXs.resize(N);
+  for (double &X : A.AodXs)
+    X = R.readF64();
+  N = R.readLength(8);
+  A.AodYs.resize(N);
+  for (double &Y : A.AodYs)
+    Y = R.readF64();
+  A.Qubit = static_cast<int>(R.readI64());
+  A.BindToSlm = R.readU8() != 0;
+  A.SlmIndex = static_cast<int>(R.readI64());
+  A.AodCol = static_cast<int>(R.readI64());
+  A.AodRow = static_cast<int>(R.readI64());
+  A.ShuttleRow = R.readU8() != 0;
+  A.ShuttleIndex = static_cast<int>(R.readI64());
+  A.Offset = R.readF64();
+  N = R.readLength(8);
+  A.ShuttleIndices.resize(N);
+  for (int &I : A.ShuttleIndices)
+    I = static_cast<int>(R.readI64());
+  N = R.readLength(8);
+  A.ShuttleOffsets.resize(N);
+  for (double &O : A.ShuttleOffsets)
+    O = R.readF64();
+  A.AngleX = R.readF64();
+  A.AngleY = R.readF64();
+  A.AngleZ = R.readF64();
+  return R.ok();
+}
+
+void writeAnnotationList(const std::vector<qasm::Annotation> &List,
+                         BinaryWriter &W) {
+  W.writeU64(List.size());
+  for (const qasm::Annotation &A : List)
+    writeAnnotation(A, W);
+}
+
+bool readAnnotationList(BinaryReader &R, std::vector<qasm::Annotation> &List) {
+  // Minimum encoded annotation: kind + 5 empty vectors + the fixed
+  // integer/double fields = 1 + 5*8 + 4*8 + 2 + 5*8 = 115 bytes.
+  size_t N = R.readLength(115);
+  List.resize(N);
+  for (qasm::Annotation &A : List)
+    if (!readAnnotation(R, A))
+      return false;
+  return R.ok();
+}
+
+void serializeFront(const FrontHalfSections &S, BinaryWriter &W) {
+  W.writeU64(S.Coloring.ColorOf.size());
+  for (int C : S.Coloring.ColorOf)
+    W.writeI64(C);
+  W.writeU64(S.Coloring.ClausesByColor.size());
+  for (const std::vector<size_t> &Group : S.Coloring.ClausesByColor) {
+    W.writeU64(Group.size());
+    for (size_t I : Group)
+      W.writeU64(I);
+  }
+  W.writeU64(S.Plans.size());
+  for (const ColorPlan &P : S.Plans) {
+    W.writeU64(P.Clauses.size());
+    for (const ClausePlan &C : P.Clauses) {
+      W.writeU64(C.ClauseIndex);
+      W.writeI64(C.Width);
+      W.writeI64(C.Site);
+      W.writeF64(C.SiteX);
+      W.writeI64(C.Left);
+      W.writeI64(C.Target);
+      W.writeI64(C.Right);
+      W.writeI64(C.ColLeft);
+      W.writeI64(C.ColTarget);
+      W.writeI64(C.ColRight);
+      W.writeI64(C.TargetTrap);
+    }
+    W.writeU64(P.Slots.size());
+    for (const Slot &S2 : P.Slots) {
+      W.writeI64(S2.Qubit);
+      W.writeI64(S2.Column);
+      W.writeF64(S2.RestX);
+    }
+  }
+  W.writeU64(S.SlmTraps.size());
+  for (const Vec2 &T : S.SlmTraps) {
+    W.writeF64(T.X);
+    W.writeF64(T.Y);
+  }
+  W.writeU64(S.ZoneSiteTrap.size());
+  for (const auto &Entry : S.ZoneSiteTrap) {
+    W.writeI64(Entry.first.first);
+    W.writeI64(Entry.first.second);
+    W.writeI64(Entry.second);
+  }
+  W.writeI64(S.NumColumns);
+}
+
+bool parseFront(BinaryReader &R, FrontHalfSections &S) {
+  size_t N = R.readLength(8);
+  S.Coloring.ColorOf.resize(N);
+  for (int &C : S.Coloring.ColorOf)
+    C = static_cast<int>(R.readI64());
+  N = R.readLength(8);
+  S.Coloring.ClausesByColor.resize(N);
+  for (std::vector<size_t> &Group : S.Coloring.ClausesByColor) {
+    size_t M = R.readLength(8);
+    Group.resize(M);
+    for (size_t &I : Group)
+      I = static_cast<size_t>(R.readU64());
+  }
+  N = R.readLength(16);
+  S.Plans.resize(N);
+  for (ColorPlan &P : S.Plans) {
+    size_t M = R.readLength(88);
+    P.Clauses.resize(M);
+    for (ClausePlan &C : P.Clauses) {
+      C.ClauseIndex = static_cast<size_t>(R.readU64());
+      C.Width = static_cast<int>(R.readI64());
+      C.Site = static_cast<int>(R.readI64());
+      C.SiteX = R.readF64();
+      C.Left = static_cast<int>(R.readI64());
+      C.Target = static_cast<int>(R.readI64());
+      C.Right = static_cast<int>(R.readI64());
+      C.ColLeft = static_cast<int>(R.readI64());
+      C.ColTarget = static_cast<int>(R.readI64());
+      C.ColRight = static_cast<int>(R.readI64());
+      C.TargetTrap = static_cast<int>(R.readI64());
+    }
+    M = R.readLength(24);
+    P.Slots.resize(M);
+    for (Slot &S2 : P.Slots) {
+      S2.Qubit = static_cast<int>(R.readI64());
+      S2.Column = static_cast<int>(R.readI64());
+      S2.RestX = R.readF64();
+    }
+  }
+  N = R.readLength(16);
+  S.SlmTraps.resize(N);
+  for (Vec2 &T : S.SlmTraps) {
+    T.X = R.readF64();
+    T.Y = R.readF64();
+  }
+  N = R.readLength(24);
+  for (size_t I = 0; I < N && R.ok(); ++I) {
+    int Zone = static_cast<int>(R.readI64());
+    int Site = static_cast<int>(R.readI64());
+    int Trap = static_cast<int>(R.readI64());
+    S.ZoneSiteTrap[{Zone, Site}] = Trap;
+  }
+  S.NumColumns = static_cast<int>(R.readI64());
+  return R.ok();
+}
+
+void serializeProgram(const ProgramSections &S, BinaryWriter &W) {
+  const qasm::WqasmProgram &P = S.Program;
+  W.writeString(P.Version);
+  W.writeI64(P.NumQubits);
+  W.writeI64(P.NumBits);
+  W.writeU64(P.Statements.size());
+  for (const qasm::GateStatement &St : P.Statements) {
+    W.writeU8(static_cast<uint8_t>(St.Gate.kind()));
+    for (unsigned I = 0; I < 3; ++I)
+      W.writeI64(I < St.Gate.numQubits() ? St.Gate.qubit(I) : 0);
+    for (unsigned I = 0; I < 3; ++I)
+      W.writeF64(I < St.Gate.numParams() ? St.Gate.param(I) : 0.0);
+    writeAnnotationList(St.Annotations, W);
+  }
+  writeAnnotationList(P.TrailingAnnotations, W);
+  W.writeU64(S.AngleSlots.size());
+  for (const AngleSlot &A : S.AngleSlots) {
+    W.writeU32(A.Statement);
+    W.writeU32(A.Annotation);
+    W.writeU8(static_cast<uint8_t>(A.Where));
+    W.writeU8(static_cast<uint8_t>(A.Dep));
+    W.writeF64(A.Coeff);
+  }
+  const fpqa::PulseStats &T = S.Stats;
+  W.writeU64(T.RamanLocalPulses);
+  W.writeU64(T.RamanGlobalPulses);
+  W.writeU64(T.RydbergPulses);
+  W.writeU64(T.ShuttleInstructions);
+  W.writeU64(T.ShuttleBatches);
+  W.writeU64(T.ShuttleAnnotations);
+  W.writeU64(T.MaxParallelShuttleWidth);
+  W.writeU64(T.TransferInstructions);
+  W.writeU64(T.TransferBatches);
+  W.writeU64(T.CzGates);
+  W.writeU64(T.CczGates);
+  W.writeU64(T.NumAtoms);
+  W.writeF64(T.Duration);
+  W.writeF64(T.Eps);
+}
+
+bool parseProgram(BinaryReader &R, ProgramSections &S) {
+  qasm::WqasmProgram &P = S.Program;
+  P.Version = R.readString();
+  P.NumQubits = static_cast<int>(R.readI64());
+  P.NumBits = static_cast<int>(R.readI64());
+  // Minimum encoded statement: gate (49) + empty annotation list (8).
+  size_t N = R.readLength(57);
+  P.Statements.resize(N);
+  for (qasm::GateStatement &St : P.Statements) {
+    uint8_t Kind = R.readU8();
+    if (Kind >= circuit::NumGateKinds) {
+      R.fail();
+      return false;
+    }
+    std::array<int, 3> Qubits;
+    std::array<double, 3> Params;
+    for (int &Q : Qubits)
+      Q = static_cast<int>(R.readI64());
+    for (double &V : Params)
+      V = R.readF64();
+    St.Gate = circuit::Gate::fromStorage(static_cast<circuit::GateKind>(Kind),
+                                         Qubits, Params);
+    if (!readAnnotationList(R, St.Annotations))
+      return false;
+  }
+  if (!readAnnotationList(R, P.TrailingAnnotations))
+    return false;
+  N = R.readLength(18);
+  S.AngleSlots.resize(N);
+  for (AngleSlot &A : S.AngleSlots) {
+    A.Statement = R.readU32();
+    A.Annotation = R.readU32();
+    uint8_t Where = R.readU8();
+    uint8_t Dep = R.readU8();
+    A.Coeff = R.readF64();
+    // Validate against the program just parsed: patchProgramAngles
+    // indexes statements and annotations unchecked, so a slot that does
+    // not point into the template must fail the whole payload.
+    if (Where > static_cast<uint8_t>(AngleSlot::Field::AnnotationZ) ||
+        Dep > static_cast<uint8_t>(AngleSlot::Param::Beta) ||
+        A.Statement >= P.Statements.size()) {
+      R.fail();
+      return false;
+    }
+    A.Where = static_cast<AngleSlot::Field>(Where);
+    A.Dep = static_cast<AngleSlot::Param>(Dep);
+    const qasm::GateStatement &St = P.Statements[A.Statement];
+    bool Valid = A.Where == AngleSlot::Field::GateParam0
+                     ? St.Gate.numParams() >= 1
+                     : A.Annotation < St.Annotations.size();
+    if (!Valid) {
+      R.fail();
+      return false;
+    }
+  }
+  fpqa::PulseStats &T = S.Stats;
+  T.RamanLocalPulses = static_cast<size_t>(R.readU64());
+  T.RamanGlobalPulses = static_cast<size_t>(R.readU64());
+  T.RydbergPulses = static_cast<size_t>(R.readU64());
+  T.ShuttleInstructions = static_cast<size_t>(R.readU64());
+  T.ShuttleBatches = static_cast<size_t>(R.readU64());
+  T.ShuttleAnnotations = static_cast<size_t>(R.readU64());
+  T.MaxParallelShuttleWidth = static_cast<size_t>(R.readU64());
+  T.TransferInstructions = static_cast<size_t>(R.readU64());
+  T.TransferBatches = static_cast<size_t>(R.readU64());
+  T.CzGates = static_cast<size_t>(R.readU64());
+  T.CczGates = static_cast<size_t>(R.readU64());
+  T.NumAtoms = static_cast<size_t>(R.readU64());
+  T.Duration = R.readF64();
+  T.Eps = R.readF64();
+  return R.ok();
+}
+
+void writeKey(const PassCacheKey &Key, BinaryWriter &W) {
+  W.writeU64(Key.words().size());
+  for (uint64_t Word : Key.words())
+    W.writeU64(Word);
+}
+
+bool readKey(BinaryReader &R, PassCacheKey &Key) {
+  size_t N = R.readLength(8);
+  std::vector<uint64_t> Words(N);
+  for (uint64_t &W : Words)
+    W = R.readU64();
+  if (!R.ok())
+    return false;
+  Key = PassCacheKey::fromWords(std::move(Words));
+  return true;
+}
+
+/// Orders persisted entries deterministically: by key payload, so saving
+/// the same cache twice (or the same merged set in any insertion order)
+/// produces identical snapshot bytes.
+bool keyLess(const PassCacheKey &A, const PassCacheKey &B) {
+  return A.words() < B.words();
+}
+
+} // namespace
+
+// --- Lazy materialization ------------------------------------------------
+
+bool PassCache::materializeFrontLocked(FrontCell &Cell) {
+  if (Cell.Value)
+    return true;
+  if (!Cell.Blob.File)
+    return false;
+  BinaryReader R(Cell.Blob.File->data() + Cell.Blob.Offset, Cell.Blob.Len);
+  auto S = std::make_shared<FrontHalfSections>();
+  if (!parseFront(R, *S) || R.remaining() != 0) {
+    // Checksum-valid but malformed (format bug or crafted file): drop the
+    // blob so this slot behaves as a plain miss and can be refilled.
+    Cell.Blob.File = nullptr;
+    return false;
+  }
+  Cell.Value = std::move(S);
+  ++Counts.Materializations;
+  return true;
+}
+
+bool PassCache::materializeProgramLocked(ProgramCell &Cell) {
+  if (!Cell.Front || !materializeFrontLocked(*Cell.Front))
+    return false;
+  if (Cell.Value)
+    return true;
+  if (!Cell.Blob.File)
+    return false;
+  BinaryReader R(Cell.Blob.File->data() + Cell.Blob.Offset, Cell.Blob.Len);
+  auto S = std::make_shared<ProgramSections>();
+  if (!parseProgram(R, *S) || R.remaining() != 0) {
+    Cell.Blob.File = nullptr;
+    return false;
+  }
+  Cell.Value = std::move(S);
+  ++Counts.Materializations;
+  return true;
+}
+
+// --- Snapshot save -------------------------------------------------------
+
+Status PassCache::saveSnapshot(const std::string &Path) const {
+  return saveSnapshot(Path, compilerFingerprint());
+}
+
+Status PassCache::saveSnapshot(const std::string &Path,
+                               uint64_t Fingerprint) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  // Deterministic entry order: sort both tiers by key payload.
+  std::vector<const std::pair<PassCacheKey, std::shared_ptr<FrontCell>> *>
+      FrontEntries;
+  for (const auto &Bucket : FrontMap)
+    for (const auto &Entry : Bucket.second)
+      FrontEntries.push_back(&Entry);
+  std::sort(FrontEntries.begin(), FrontEntries.end(),
+            [](const auto *A, const auto *B) {
+              return keyLess(A->first, B->first);
+            });
+  std::vector<const std::pair<PassCacheKey, std::shared_ptr<ProgramCell>> *>
+      ProgramEntries;
+  for (const auto &Bucket : ProgramMap)
+    for (const auto &Entry : Bucket.second)
+      ProgramEntries.push_back(&Entry);
+  std::sort(ProgramEntries.begin(), ProgramEntries.end(),
+            [](const auto *A, const auto *B) {
+              return keyLess(A->first, B->first);
+            });
+
+  // Front-section pool: unique cells, in first-reference order.
+  std::unordered_map<const FrontCell *, uint64_t> PoolIndex;
+  std::vector<const FrontCell *> Pool;
+  auto poolOf = [&](const FrontCell *Cell) {
+    auto It = PoolIndex.find(Cell);
+    if (It != PoolIndex.end())
+      return It->second;
+    uint64_t Idx = Pool.size();
+    PoolIndex.emplace(Cell, Idx);
+    Pool.push_back(Cell);
+    return Idx;
+  };
+  for (const auto *Entry : FrontEntries)
+    poolOf(Entry->second.get());
+  for (const auto *Entry : ProgramEntries)
+    if (Entry->second->Front)
+      poolOf(Entry->second->Front.get());
+
+  BinaryWriter W;
+  W.writeU64(SnapshotMagic);
+  W.writeU32(SnapshotFormatVersion);
+  W.writeU32(0);
+  W.writeU64(Fingerprint);
+  W.writeU64(0); // payload bytes, patched below
+  W.writeU64(0); // payload checksum, patched below
+
+  // A cell that was loaded from a snapshot and never materialized is
+  // copied verbatim — the payload encoding is position-independent.
+  auto writeBlob = [&W](const LazyBlob &Blob) {
+    W.writeU64(Blob.Len);
+    if (Blob.File)
+      W.writeBytes(Blob.File->data() + Blob.Offset, Blob.Len);
+  };
+
+  W.writeU64(Pool.size());
+  for (const FrontCell *Cell : Pool) {
+    if (Cell->Value) {
+      BinaryWriter Section;
+      serializeFront(*Cell->Value, Section);
+      W.writeU64(Section.size());
+      W.writeBytes(Section.bytes().data(), Section.size());
+    } else {
+      writeBlob(Cell->Blob); // empty (len 0) for a dropped bad blob
+    }
+  }
+
+  W.writeU64(FrontEntries.size());
+  for (const auto *Entry : FrontEntries) {
+    writeKey(Entry->first, W);
+    W.writeU64(PoolIndex.at(Entry->second.get()));
+  }
+
+  W.writeU64(ProgramEntries.size());
+  for (const auto *Entry : ProgramEntries) {
+    writeKey(Entry->first, W);
+    const ProgramCell &Cell = *Entry->second;
+    W.writeU64(Cell.Front ? PoolIndex.at(Cell.Front.get()) : ~uint64_t{0});
+    if (Cell.Value) {
+      BinaryWriter Section;
+      serializeProgram(*Cell.Value, Section);
+      W.writeU64(Section.size());
+      W.writeBytes(Section.bytes().data(), Section.size());
+    } else {
+      writeBlob(Cell.Blob);
+    }
+  }
+
+  size_t PayloadBytes = W.size() - SnapshotHeaderBytes;
+  W.patchU64(24, PayloadBytes);
+  W.patchU64(32,
+             fnv1a64(W.bytes().data() + SnapshotHeaderBytes, PayloadBytes));
+  return writeFileAtomic(Path, W.bytes().data(), W.size());
+}
+
+// --- Snapshot load -------------------------------------------------------
+
+Status PassCache::loadSnapshot(const std::string &Path) {
+  return loadSnapshot(Path, compilerFingerprint());
+}
+
+Status PassCache::loadSnapshot(const std::string &Path,
+                               uint64_t ExpectFingerprint) {
+  Expected<MappedFile> FileOr = MappedFile::open(Path);
+  if (!FileOr)
+    return FileOr.status();
+  auto File = std::make_shared<MappedFile>(FileOr.take());
+  if (File->size() < SnapshotHeaderBytes)
+    return Status::error("cache file " + Path + ": truncated header");
+  BinaryReader Header(File->data(), SnapshotHeaderBytes);
+  if (Header.readU64() != SnapshotMagic)
+    return Status::error("cache file " + Path + ": not a PassCache snapshot");
+  uint32_t Version = Header.readU32();
+  Header.readU32(); // reserved
+  if (Version != SnapshotFormatVersion)
+    return Status::error("cache file " + Path + ": format version " +
+                         std::to_string(Version) + " != " +
+                         std::to_string(SnapshotFormatVersion));
+  uint64_t Fingerprint = Header.readU64();
+  if (Fingerprint != ExpectFingerprint)
+    return Status::error("cache file " + Path +
+                         ": compiler fingerprint mismatch (stale cache "
+                         "from another build)");
+  uint64_t PayloadBytes = Header.readU64();
+  uint64_t Checksum = Header.readU64();
+  if (PayloadBytes != File->size() - SnapshotHeaderBytes)
+    return Status::error("cache file " + Path + ": truncated payload");
+  if (fnv1a64(File->data() + SnapshotHeaderBytes, PayloadBytes) != Checksum)
+    return Status::error("cache file " + Path + ": payload checksum mismatch");
+
+  // Parse the full index (keys + blob ranges) before touching the maps,
+  // so a malformed payload inserts nothing.
+  BinaryReader R(File->data() + SnapshotHeaderBytes, PayloadBytes);
+  auto blobRange = [&](LazyBlob &Blob) {
+    uint64_t Len = R.readU64();
+    if (Len > R.remaining()) {
+      R.fail();
+      return;
+    }
+    Blob.File = Len ? File : nullptr; // a zero-length blob stays a miss
+    Blob.Offset = SnapshotHeaderBytes + R.position();
+    Blob.Len = static_cast<size_t>(Len);
+    R.skip(static_cast<size_t>(Len));
+  };
+
+  size_t PoolCount = R.readLength(8);
+  std::vector<std::shared_ptr<FrontCell>> Pool;
+  Pool.reserve(PoolCount);
+  for (size_t I = 0; I < PoolCount && R.ok(); ++I) {
+    auto Cell = std::make_shared<FrontCell>();
+    blobRange(Cell->Blob);
+    Pool.push_back(std::move(Cell));
+  }
+
+  std::vector<std::pair<PassCacheKey, std::shared_ptr<FrontCell>>> Fronts;
+  size_t FrontCount = R.readLength(16);
+  for (size_t I = 0; I < FrontCount && R.ok(); ++I) {
+    PassCacheKey Key;
+    if (!readKey(R, Key))
+      break;
+    uint64_t Idx = R.readU64();
+    if (Idx >= Pool.size()) {
+      R.fail();
+      break;
+    }
+    Fronts.emplace_back(std::move(Key), Pool[Idx]);
+  }
+
+  std::vector<std::pair<PassCacheKey, std::shared_ptr<ProgramCell>>> Programs;
+  size_t ProgramCount = R.readLength(24);
+  for (size_t I = 0; I < ProgramCount && R.ok(); ++I) {
+    PassCacheKey Key;
+    if (!readKey(R, Key))
+      break;
+    uint64_t Idx = R.readU64();
+    if (Idx >= Pool.size()) {
+      R.fail();
+      break;
+    }
+    auto Cell = std::make_shared<ProgramCell>();
+    Cell->Front = Pool[Idx];
+    blobRange(Cell->Blob);
+    Programs.emplace_back(std::move(Key), std::move(Cell));
+  }
+  if (!R.ok() || R.remaining() != 0)
+    return Status::error("cache file " + Path + ": malformed payload index");
+
+  // Commit. Existing keys win: a loaded entry never replaces one already
+  // inserted (in-process results are at least as fresh).
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &Entry : Fronts) {
+    if (MaxEntries && NumEntries >= MaxEntries)
+      break;
+    if (findExact<std::shared_ptr<FrontCell>>(FrontMap, Entry.first))
+      continue;
+    FrontMap[Entry.first.hash()].push_back(std::move(Entry));
+    ++NumEntries;
+  }
+  for (auto &Entry : Programs) {
+    if (MaxEntries && NumEntries >= MaxEntries)
+      break;
+    if (findExact<std::shared_ptr<ProgramCell>>(ProgramMap, Entry.first))
+      continue;
+    ProgramMap[Entry.first.hash()].push_back(std::move(Entry));
+    ++NumEntries;
+  }
+  return Status::success();
+}
+
+Status PassCache::mergeSnapshots(const std::vector<std::string> &Inputs,
+                                 const std::string &Output) {
+  PassCache Merged(/*MaxEntries=*/0);
+  for (const std::string &Input : Inputs)
+    if (Status S = Merged.loadSnapshot(Input))
+      return S;
+  // Saving a just-loaded cache copies section payloads verbatim, so the
+  // merge never materializes a template.
+  return Merged.saveSnapshot(Output);
+}

@@ -77,7 +77,7 @@ Status PassManager::run(CompilationContext &Ctx) const {
     if (!Front && Builder.SavedColoring && Builder.SavedPlan)
       Front = Cache->insertFront(FrontKey, std::move(Builder.Front));
     if (Front && Builder.SavedProgram && Builder.SavedStats)
-      Cache->insertProgram(ProgramKey, std::move(Front),
+      Cache->insertProgram(ProgramKey, FrontKey, std::move(Front),
                            std::move(Builder.Back));
   }
   return Status::success();

@@ -148,6 +148,13 @@ CompileService::CompileService(ServiceOptions Opts)
     OwnedCache = std::make_unique<pipeline::PassCache>();
     ActiveCache = OwnedCache.get();
   }
+  if (ActiveCache && !Options.CacheFile.empty()) {
+    // Warm-start: merge the persisted snapshot into the cache. Any defect
+    // (missing file, stale fingerprint, corruption) just means a cold
+    // start — the service must come up either way.
+    if (!ActiveCache->loadSnapshot(Options.CacheFile))
+      Counts.CacheEntriesLoaded = ActiveCache->size();
+  }
   for (size_t I = 0; I < std::size(baselines::AllBackendKinds); ++I) {
     baselines::BackendKind Kind = baselines::AllBackendKinds[I];
     if (Kind == baselines::BackendKind::Weaver) {
@@ -484,6 +491,17 @@ void CompileService::shutdown(bool Drain) {
   // every job that had not started. Running jobs finish or abort at their
   // next checkpoint; the pool joins them either way.
   Pool.shutdown(Drain);
+  // Persist the cache only after a full drain (every worker has exited,
+  // so the snapshot is a complete, settled view). A cancelling shutdown
+  // skips the flush: the previous snapshot on disk stays valid.
+  bool FlushHere = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Drain && !CacheFlushed && ActiveCache && !Options.CacheFile.empty())
+      FlushHere = CacheFlushed = true;
+  }
+  if (FlushHere)
+    ActiveCache->saveSnapshot(Options.CacheFile); // best-effort
 }
 
 // --- Reporting -----------------------------------------------------------
@@ -513,6 +531,8 @@ Table CompileService::statsTable() const {
                                               : 0.0)});
   T.addRow({"cache hits program tier", std::to_string(S.ProgramTierHits)});
   T.addRow({"cache hits front tier", std::to_string(S.FrontTierHits)});
+  T.addRow({"cache entries loaded from file",
+            std::to_string(S.CacheEntriesLoaded)});
   return T;
 }
 

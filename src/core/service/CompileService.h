@@ -122,6 +122,12 @@ struct ServiceOptions {
   /// must outlive the service; overrides UseCache). nullptr with
   /// UseCache gives the service its own.
   pipeline::PassCache *Cache = nullptr;
+  /// Optional persistent cache file. Loaded into the active cache at
+  /// construction (a missing/stale/corrupt file is ignored: the service
+  /// starts cold) and flushed back on a draining shutdown — so a
+  /// restarted server warm-starts from its previous life's templates.
+  /// Ignored when caching is off. See pipeline/PassCache.h.
+  std::string CacheFile;
 };
 
 /// Async compilation service; see file comment.
@@ -181,6 +187,9 @@ public:
     uint64_t CompilesStarted = 0; ///< jobs whose backend compile began
     uint64_t FrontTierHits = 0;   ///< compiles served from the front tier
     uint64_t ProgramTierHits = 0; ///< compiles served from a template
+    /// Entries warm-started from ServiceOptions::CacheFile (0 when no
+    /// file was configured or the load was rejected).
+    uint64_t CacheEntriesLoaded = 0;
     double TotalQueueSeconds = 0;
     double MaxQueueSeconds = 0;
     double TotalCompileSeconds = 0;
@@ -252,6 +261,10 @@ private:
 
   mutable std::mutex Mutex; ///< guards the maps, counters, and ShuttingDown
   bool ShuttingDown = false;
+  /// The draining shutdown already flushed ActiveCache to CacheFile; a
+  /// second shutdown() (e.g. explicit call then destructor) must not
+  /// rewrite the file.
+  bool CacheFlushed = false;
   uint64_t NextJobId = 1;
   ServiceStats Counts;
   /// Dedup index over unresolved, uncancelled jobs.

@@ -1,0 +1,132 @@
+//===- support/BinaryIO.cpp - Generic binary serialization ----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinaryIO.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace weaver;
+
+uint64_t weaver::fnv1a64(const void *Data, size_t Size, uint64_t Seed) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+void BinaryWriter::patchU64(size_t Offset, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Buf[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+std::string BinaryReader::readString() {
+  size_t Len = readLength(1);
+  if (!ok())
+    return {};
+  std::string S(reinterpret_cast<const char *>(P + Pos), Len);
+  Pos += Len;
+  return S;
+}
+
+// --- MappedFile ----------------------------------------------------------
+
+Expected<MappedFile> MappedFile::open(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Expected<MappedFile>::error("cannot open " + Path + ": " +
+                                       std::strerror(errno));
+  struct stat St;
+  if (fstat(Fd, &St) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return Expected<MappedFile>::error("cannot stat " + Path + ": " +
+                                       std::strerror(E));
+  }
+  if (St.st_size <= 0) {
+    ::close(Fd);
+    return Expected<MappedFile>::error("empty file " + Path);
+  }
+  size_t Size = static_cast<size_t>(St.st_size);
+  void *Data = mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // the mapping keeps its own reference
+  if (Data == MAP_FAILED)
+    return Expected<MappedFile>::error("cannot mmap " + Path + ": " +
+                                       std::strerror(errno));
+  return MappedFile(Data, Size);
+}
+
+MappedFile &MappedFile::operator=(MappedFile &&O) noexcept {
+  if (this != &O) {
+    if (Data)
+      munmap(Data, Size_);
+    Data = O.Data;
+    Size_ = O.Size_;
+    O.Data = nullptr;
+    O.Size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (Data)
+    munmap(Data, Size_);
+}
+
+// --- Atomic write --------------------------------------------------------
+
+Status weaver::writeFileAtomic(const std::string &Path, const void *Data,
+                               size_t Size) {
+  // Pid alone is not unique enough: two threads of one process saving to
+  // the same Path would share (and clobber) one temp file. The counter
+  // keeps every in-flight write on its own temp name.
+  static std::atomic<uint64_t> Seq{0};
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(Seq.fetch_add(1));
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return Status::error("cannot create " + Tmp + ": " +
+                         std::strerror(errno));
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  size_t Written = 0;
+  while (Written < Size) {
+    ssize_t N = ::write(Fd, P + Written, Size - Written);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int E = errno;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return Status::error("cannot write " + Tmp + ": " + std::strerror(E));
+    }
+    Written += static_cast<size_t>(N);
+  }
+  // Flush file contents before the rename makes them visible under Path;
+  // a crash between the two leaves either the old file or the new one.
+  if (fsync(Fd) != 0) {
+    int E = errno;
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return Status::error("cannot fsync " + Tmp + ": " + std::strerror(E));
+  }
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    int E = errno;
+    ::unlink(Tmp.c_str());
+    return Status::error("cannot rename " + Tmp + " to " + Path + ": " +
+                         std::strerror(E));
+  }
+  return Status::success();
+}

@@ -15,6 +15,7 @@
 ///
 ///      compile_server [--jobs N] [--threads N] [--queue N]
 ///                     [--backend NAME] [--cancel-every K] [--no-dedup]
+///                     [--cache-file PATH]
 ///
 ///  * Line-protocol mode (--serve): a minimal interactive server on
 ///    stdin/stdout. One command per line:
@@ -26,6 +27,11 @@
 ///    Completions are reported asynchronously as "done <jobid> ..." lines
 ///    from worker callbacks.
 ///
+/// With --cache-file PATH, both modes warm-start the service's PassCache
+/// from the snapshot at PATH (if present and valid) and flush it back on
+/// clean exit. In serve mode SIGTERM/SIGINT trigger the same drain +
+/// flush instead of killing the process mid-write.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/service/CompileService.h"
@@ -34,6 +40,7 @@
 #include "support/StringUtils.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -56,7 +63,17 @@ struct DemoConfig {
   int CancelEvery = 0; // cancel every Kth job right after submit
   bool Dedup = true;
   bool Serve = false;
+  std::string CacheFile; // persistent PassCache snapshot (optional)
 };
+
+/// SIGTERM/SIGINT request an orderly drain of the line-protocol server:
+/// the handler only flips this flag; the blocked getline fails with EINTR
+/// (the handler is installed without SA_RESTART), the command loop exits,
+/// and the normal shutdown path drains the queue and flushes the cache
+/// file.
+volatile std::sig_atomic_t TerminateRequested = 0;
+
+void onTerminate(int) { TerminateRequested = 1; }
 
 /// The mixed sizes of the batched demo — small enough that 100 formulas
 /// finish in seconds, mixed enough that the queue sees uneven job costs.
@@ -75,6 +92,7 @@ int runBatchDemo(const DemoConfig &Config) {
   Opt.NumThreads = Config.Threads;
   Opt.QueueCapacity = Config.Queue;
   Opt.Deduplicate = Config.Dedup;
+  Opt.CacheFile = Config.CacheFile;
   CompileService Service(Opt);
 
   // Build the batch: cycle the sizes, fresh instance index per size.
@@ -153,7 +171,18 @@ int runServer(const DemoConfig &Config) {
   Opt.NumThreads = Config.Threads;
   Opt.QueueCapacity = Config.Queue;
   Opt.Deduplicate = Config.Dedup;
+  Opt.CacheFile = Config.CacheFile;
   CompileService Service(Opt);
+
+  // Orderly termination on SIGTERM/SIGINT: no SA_RESTART, so the read
+  // blocked in getline below fails with EINTR instead of resuming, the
+  // loop ends, and the draining shutdown persists the cache.
+  struct sigaction Sa = {};
+  Sa.sa_handler = onTerminate;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = 0;
+  sigaction(SIGTERM, &Sa, nullptr);
+  sigaction(SIGINT, &Sa, nullptr);
 
   std::mutex OutMutex; // callbacks print from worker threads
   auto Report = [&OutMutex](const JobOutcome &O) {
@@ -172,7 +201,7 @@ int runServer(const DemoConfig &Config) {
   // with every one of them to actually cancel the job.
   std::map<uint64_t, std::vector<CompileService::JobHandle>> Handles;
   std::string Line;
-  while (std::getline(std::cin, Line)) {
+  while (!TerminateRequested && std::getline(std::cin, Line)) {
     std::istringstream In(Line);
     std::string Cmd;
     In >> Cmd;
@@ -265,6 +294,11 @@ int runServer(const DemoConfig &Config) {
                 H.coalesced() ? " (coalesced)" : "");
     std::fflush(stdout);
   }
+  if (TerminateRequested)
+    std::fprintf(stderr, "termination signal: draining %s\n",
+                 Config.CacheFile.empty()
+                     ? "queue"
+                     : "queue and flushing cache file");
   Service.shutdown(/*Drain=*/true);
   std::lock_guard<std::mutex> Lock(OutMutex);
   std::printf("%s", Service.statsTable().render().c_str());
@@ -294,11 +328,13 @@ int main(int Argc, char **Argv) {
       Config.Dedup = false;
     else if (Arg == "--serve")
       Config.Serve = true;
+    else if (Arg == "--cache-file")
+      Config.CacheFile = Next();
     else {
       std::fprintf(stderr,
                    "usage: compile_server [--jobs N] [--threads N] "
                    "[--queue N] [--backend NAME] [--cancel-every K] "
-                   "[--no-dedup] [--serve]\n");
+                   "[--no-dedup] [--serve] [--cache-file PATH]\n");
       return Arg == "--help" ? 0 : 1;
     }
   }

@@ -1,0 +1,445 @@
+//===- tools/shard_sweep.cpp - Multi-process sharded SATLIB sweep ---------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Shards the SATLIB-style sweep suite across worker *processes* that
+/// share one persisted PassCache — the multi-process half of the
+/// persistent-cache design (see pipeline/PassCache.h).
+///
+/// Modes:
+///
+///  * Single process (default): sweeps every suite size, prints the
+///    per-size table. With --cache-file PATH it warm-starts from the
+///    snapshot and flushes the populated cache back.
+///
+///  * Driver (--shards N): forks N workers via /proc/self/exe, each
+///    compiling the sizes with index % N == K. Workers write their table
+///    rows as TSV and (with --cache-file) save a per-shard segment
+///    `PATH.shard<K>`; the driver waits for all of them, reassembles the
+///    rows in suite order — byte-identical to the 1-process table, which
+///    is possible because the table carries only deterministic columns —
+///    and compacts the segments into PATH with PassCache::mergeSnapshots.
+///    Timing goes to stderr so stdout stays deterministic.
+///
+///  * Worker (--shards N --shard K): internal; spawned by the driver.
+///
+/// Flags:
+///   --check        driver recomputes the table in-process with a fresh
+///                  in-memory cache and fails unless the merged table is
+///                  byte-identical.
+///   --expect-warm  fail unless the sweep ran entirely from cache
+///                  (0 program-tier misses, >0 hits) — CI uses this to
+///                  pin the disk warm-start after a restart.
+///   --instances N / --points P  suite weight per size (defaults 2 / 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Backend.h"
+#include "core/BatchCompiler.h"
+#include "core/WeaverCompiler.h"
+#include "core/pipeline/PassCache.h"
+#include "sat/Generator.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace weaver;
+
+namespace {
+
+struct Config {
+  int Shards = 0;   ///< 0: single-process; >0: sharded
+  int Shard = -1;   ///< >=0: this process is worker K
+  int Instances = 2;
+  int Points = 3;
+  std::string RowsOut;   ///< worker: TSV row sink (driver-supplied)
+  std::string CacheFile; ///< persisted PassCache snapshot ("" = off)
+  bool Check = false;
+  bool ExpectWarm = false;
+};
+
+/// Deterministic per-size table columns. No wall-clock column: timings
+/// would differ run to run and break the byte-identity contract between
+/// the sharded and the 1-process table.
+const char *const Columns[] = {"size",       "clauses", "colours",
+                               "pulses",     "exec [ms]", "EPS"};
+
+/// One finished table row: suite position + rendered cells.
+struct Row {
+  size_t SizeIndex = 0;
+  std::vector<std::string> Cells;
+};
+
+/// Sweeps the suite sizes whose index is in \p SizeIdx through the Weaver
+/// pipeline at every (gamma, beta) point, all compiles sharing \p Cache
+/// (may be null for a cold, cache-less run). Returns one row per size.
+/// The aggregation mirrors examples/satlib_sweep so the numbers line up
+/// across the demos.
+bool computeRows(const Config &C, const std::vector<size_t> &SizeIdx,
+                 core::pipeline::PassCache *Cache, std::vector<Row> &Rows) {
+  core::WeaverOptions WOpt;
+  WOpt.Cache = Cache;
+  baselines::WeaverBackend Backend(WOpt);
+
+  for (size_t S : SizeIdx) {
+    int N = sat::SatlibSizes[S];
+    std::vector<sat::CnfFormula> Batch;
+    for (int I = 1; I <= C.Instances; ++I)
+      Batch.push_back(sat::satlibInstance(N, I));
+
+    std::vector<baselines::BaselineResult> Last;
+    for (int P = 0; P < C.Points; ++P) {
+      core::BatchOptions BOpt;
+      BOpt.Qaoa.Gamma = 0.30 + 0.10 * P;
+      BOpt.Qaoa.Beta = 0.20 + 0.05 * P;
+      Last = core::BatchCompiler(Backend, BOpt).compileAll(Batch);
+    }
+
+    double Exec = 0, EpsLog = 0;
+    size_t Pulses = 0;
+    int Colors = 0;
+    for (int I = 0; I < C.Instances; ++I) {
+      const baselines::BaselineResult &R = Last[I];
+      if (!R.usable()) {
+        std::fprintf(stderr, "error at N=%d: %s\n", N,
+                     R.Diagnostic.empty() ? "instance unsupported"
+                                          : R.Diagnostic.c_str());
+        return false;
+      }
+      Exec += R.ExecutionSeconds / C.Instances;
+      EpsLog += std::log10(R.Eps) / C.Instances;
+      Pulses += R.Pulses / C.Instances;
+      Colors = std::max(Colors, R.Colors);
+    }
+    Row R;
+    R.SizeIndex = S;
+    R.Cells = {std::to_string(N), std::to_string(Batch[0].numClauses()),
+               std::to_string(Colors), std::to_string(Pulses),
+               formatf("%.2f", Exec * 1e3), formatf("1e%.1f", EpsLog)};
+    Rows.push_back(std::move(R));
+  }
+  return true;
+}
+
+Table tableFromRows(std::vector<Row> Rows) {
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.SizeIndex < B.SizeIndex; });
+  Table T({Columns[0], Columns[1], Columns[2], Columns[3], Columns[4],
+           Columns[5]});
+  for (Row &R : Rows)
+    T.addRow(std::move(R.Cells));
+  return T;
+}
+
+std::vector<size_t> shardSizes(int Shards, int Shard) {
+  std::vector<size_t> Idx;
+  for (size_t S = 0; S < std::size(sat::SatlibSizes); ++S)
+    if (Shards <= 1 || static_cast<int>(S % Shards) == Shard)
+      Idx.push_back(S);
+  return Idx;
+}
+
+std::string segmentPath(const std::string &CacheFile, int Shard) {
+  return CacheFile + ".shard" + std::to_string(Shard);
+}
+
+/// Fails only on misses: an --expect-warm sweep must be served entirely
+/// from the (disk-loaded) cache.
+bool checkWarm(const core::pipeline::PassCache &Cache) {
+  core::pipeline::PassCache::CacheStats CS = Cache.stats();
+  if (CS.ProgramMisses == 0 && CS.ProgramHits > 0)
+    return true;
+  std::fprintf(stderr,
+               "--expect-warm failed: program tier hits=%llu misses=%llu "
+               "(expected all hits)\n",
+               static_cast<unsigned long long>(CS.ProgramHits),
+               static_cast<unsigned long long>(CS.ProgramMisses));
+  return false;
+}
+
+// --- Worker ---------------------------------------------------------------
+
+int runWorker(const Config &C) {
+  core::pipeline::PassCache Cache;
+  if (!C.CacheFile.empty())
+    Cache.loadSnapshot(C.CacheFile); // missing/stale file = cold start
+
+  std::vector<Row> Rows;
+  if (!computeRows(C, shardSizes(C.Shards, C.Shard), &Cache, Rows))
+    return 1;
+
+  // Rows as TSV, one line per size: "<suite index>\t<cells...>".
+  std::ofstream Out(C.RowsOut, std::ios::trunc);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", C.RowsOut.c_str());
+    return 1;
+  }
+  for (const Row &R : Rows) {
+    Out << R.SizeIndex;
+    for (const std::string &Cell : R.Cells)
+      Out << '\t' << Cell;
+    Out << '\n';
+  }
+  Out.close();
+  if (!Out) {
+    std::fprintf(stderr, "error: short write to %s\n", C.RowsOut.c_str());
+    return 1;
+  }
+
+  // The segment is the worker's whole cache (base snapshot + everything
+  // this shard compiled), so a merge over segments alone already covers
+  // the base file.
+  if (!C.CacheFile.empty()) {
+    Status S = Cache.saveSnapshot(segmentPath(C.CacheFile, C.Shard));
+    if (S) {
+      std::fprintf(stderr, "error: segment save failed: %s\n",
+                   S.message().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// --- Driver ---------------------------------------------------------------
+
+int runDriver(const Config &C, const char *Self) {
+  auto Start = std::chrono::steady_clock::now();
+
+  std::string RowsBase =
+      C.RowsOut.empty()
+          ? "shard_sweep_rows." + std::to_string(static_cast<long>(getpid()))
+          : C.RowsOut;
+
+  std::vector<pid_t> Pids;
+  for (int K = 0; K < C.Shards; ++K) {
+    std::vector<std::string> Args = {
+        Self,
+        "--shards", std::to_string(C.Shards),
+        "--shard", std::to_string(K),
+        "--rows-out", RowsBase + "." + std::to_string(K),
+        "--instances", std::to_string(C.Instances),
+        "--points", std::to_string(C.Points)};
+    if (!C.CacheFile.empty()) {
+      Args.push_back("--cache-file");
+      Args.push_back(C.CacheFile);
+    }
+    std::vector<char *> Argv;
+    for (std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "error: fork failed: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (Pid == 0) {
+      execv(Self, Argv.data());
+      std::fprintf(stderr, "error: exec failed: %s\n", std::strerror(errno));
+      _exit(127);
+    }
+    Pids.push_back(Pid);
+  }
+
+  bool WorkersOk = true;
+  for (pid_t Pid : Pids) {
+    int WStatus = 0;
+    if (waitpid(Pid, &WStatus, 0) < 0 || !WIFEXITED(WStatus) ||
+        WEXITSTATUS(WStatus) != 0) {
+      std::fprintf(stderr, "error: worker %ld failed\n",
+                   static_cast<long>(Pid));
+      WorkersOk = false;
+    }
+  }
+  if (!WorkersOk)
+    return 1;
+
+  // Reassemble the rows in suite order.
+  std::vector<Row> Rows;
+  for (int K = 0; K < C.Shards; ++K) {
+    std::string Path = RowsBase + "." + std::to_string(K);
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: missing worker rows %s\n", Path.c_str());
+      return 1;
+    }
+    std::string Line;
+    while (std::getline(In, Line)) {
+      std::istringstream LS(Line);
+      std::string Cell;
+      Row R;
+      if (!std::getline(LS, Cell, '\t'))
+        continue;
+      R.SizeIndex = static_cast<size_t>(std::stoull(Cell));
+      while (std::getline(LS, Cell, '\t'))
+        R.Cells.push_back(Cell);
+      if (R.Cells.size() != std::size(Columns)) {
+        std::fprintf(stderr, "error: malformed row in %s\n", Path.c_str());
+        return 1;
+      }
+      Rows.push_back(std::move(R));
+    }
+    In.close();
+    std::remove(Path.c_str());
+  }
+  Table Merged = tableFromRows(std::move(Rows));
+  std::string Rendered = Merged.render();
+
+  // Compact the per-shard segments into the shared snapshot. Every
+  // segment already contains the base entries (workers load the base
+  // first), so merging the segments alone is complete; first-input-wins
+  // keeps the result deterministic.
+  if (!C.CacheFile.empty()) {
+    std::vector<std::string> Segments;
+    for (int K = 0; K < C.Shards; ++K)
+      Segments.push_back(segmentPath(C.CacheFile, K));
+    Status S =
+        core::pipeline::PassCache::mergeSnapshots(Segments, C.CacheFile);
+    if (S) {
+      std::fprintf(stderr, "error: segment merge failed: %s\n",
+                   S.message().c_str());
+      return 1;
+    }
+    for (const std::string &Seg : Segments)
+      std::remove(Seg.c_str());
+  }
+
+  if (C.Check) {
+    // The reference: same suite, one process, fresh in-memory cache.
+    std::vector<Row> RefRows;
+    core::pipeline::PassCache RefCache;
+    if (!computeRows(C, shardSizes(1, 0), &RefCache, RefRows))
+      return 1;
+    std::string Reference = tableFromRows(std::move(RefRows)).render();
+    if (Reference != Rendered) {
+      std::fprintf(stderr,
+                   "--check failed: %d-shard table differs from the "
+                   "1-process table\n--- sharded ---\n%s--- reference "
+                   "---\n%s",
+                   C.Shards, Rendered.c_str(), Reference.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "--check passed: %d-shard table byte-identical "
+                 "to the 1-process run\n", C.Shards);
+  }
+
+  std::printf("%s", Rendered.c_str());
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  std::fprintf(stderr, "sharded sweep: %d workers, wall %.2f s%s\n",
+               C.Shards, Wall,
+               C.CacheFile.empty() ? "" : ", segments compacted");
+  return 0;
+}
+
+// --- Single process -------------------------------------------------------
+
+int runSingle(const Config &C) {
+  auto Start = std::chrono::steady_clock::now();
+  core::pipeline::PassCache Cache;
+  size_t Loaded = 0;
+  if (!C.CacheFile.empty())
+    if (!Cache.loadSnapshot(C.CacheFile))
+      Loaded = Cache.size();
+
+  std::vector<Row> Rows;
+  if (!computeRows(C, shardSizes(1, 0), &Cache, Rows))
+    return 1;
+  std::printf("%s", tableFromRows(std::move(Rows)).render().c_str());
+
+  if (C.ExpectWarm && !checkWarm(Cache))
+    return 1;
+
+  if (!C.CacheFile.empty()) {
+    Status S = Cache.saveSnapshot(C.CacheFile);
+    if (S) {
+      std::fprintf(stderr, "warning: cache flush failed: %s\n",
+                   S.message().c_str());
+    }
+  }
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  core::pipeline::PassCache::CacheStats CS = Cache.stats();
+  std::fprintf(stderr,
+               "sweep: wall %.2f s; %zu entries loaded; program tier "
+               "hits/misses %llu/%llu\n",
+               Wall, Loaded, static_cast<unsigned long long>(CS.ProgramHits),
+               static_cast<unsigned long long>(CS.ProgramMisses));
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Config C;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--shards")
+      C.Shards = std::atoi(Next());
+    else if (Arg == "--shard")
+      C.Shard = std::atoi(Next());
+    else if (Arg == "--rows-out")
+      C.RowsOut = Next();
+    else if (Arg == "--cache-file")
+      C.CacheFile = Next();
+    else if (Arg == "--instances")
+      C.Instances = std::atoi(Next());
+    else if (Arg == "--points")
+      C.Points = std::atoi(Next());
+    else if (Arg == "--check")
+      C.Check = true;
+    else if (Arg == "--expect-warm")
+      C.ExpectWarm = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: shard_sweep [--shards N [--shard K]] "
+                   "[--cache-file PATH] [--instances N] [--points P] "
+                   "[--check] [--expect-warm]\n");
+      return Arg == "--help" ? 0 : 1;
+    }
+  }
+  if (C.Instances < 1 || C.Points < 1 || C.Shards < 0) {
+    std::fprintf(stderr, "error: invalid suite configuration\n");
+    return 1;
+  }
+  if (C.Shard >= 0) {
+    if (C.Shards < 1 || C.Shard >= C.Shards || C.RowsOut.empty()) {
+      std::fprintf(stderr, "error: worker mode needs --shards N, "
+                   "--shard K < N, and --rows-out\n");
+      return 1;
+    }
+    return runWorker(C);
+  }
+  if (C.Shards > 0) {
+    // /proc/self/exe survives argv[0] games and PATH lookups; fall back
+    // to argv[0] on non-proc systems.
+    char Self[4096];
+    ssize_t Len = readlink("/proc/self/exe", Self, sizeof(Self) - 1);
+    if (Len > 0)
+      Self[Len] = '\0';
+    return runDriver(C, Len > 0 ? Self : Argv[0]);
+  }
+  return runSingle(C);
+}
