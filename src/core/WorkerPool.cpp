@@ -36,6 +36,18 @@ bool WorkerPool::post(std::function<void()> Task, int Priority) {
   return true;
 }
 
+WorkerPool::PostResult WorkerPool::tryPost(std::function<void()> Task,
+                                           int Priority) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopping)
+    return PostResult::Stopped;
+  if (Capacity != 0 && Queue.size() >= Capacity)
+    return PostResult::Full;
+  Queue.push(Item{Priority, NextSeq++, std::move(Task)});
+  NotEmpty.notify_one();
+  return PostResult::Posted;
+}
+
 void WorkerPool::shutdown(bool Drain) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);

@@ -56,6 +56,15 @@ public:
   /// queue would then deadlock against the blocked worker.
   bool post(std::function<void()> Task, int Priority = 0);
 
+  /// Outcome of a non-blocking tryPost.
+  enum class PostResult { Posted, Full, Stopped };
+
+  /// Non-blocking post: never waits on the queue bound. Returns Full
+  /// (dropping the task) when the queue is at capacity — the admission
+  /// layer turns that into load shedding instead of a blocked accept
+  /// loop — and Stopped once shutdown has begun.
+  PostResult tryPost(std::function<void()> Task, int Priority = 0);
+
   /// Stops the pool and joins all workers. Drain=true runs every queued
   /// task first; Drain=false discards the queue (running tasks always
   /// finish). Idempotent; post() fails afterwards.

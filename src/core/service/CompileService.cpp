@@ -205,6 +205,9 @@ CompileService::JobKey CompileService::makeKey(const CompileRequest &Request) {
   // must neither hand its arming to an innocent waiter nor lose it by
   // joining an unarmed in-flight compile.
   AddWord(static_cast<uint64_t>(Request.CancelAtCheckpoint));
+  // Same logic for deadlines: a tight-deadline request must not arm a
+  // deadline on a patient waiter's job, nor ride an undeadlined one.
+  AddDouble(Request.DeadlineSeconds);
   // FNV-1a over the payload; lookups still compare the words exactly.
   uint64_t H = 1469598103934665603ull;
   for (uint64_t W : K.Words)
@@ -220,6 +223,22 @@ CompileService::JobKey CompileService::makeKey(const CompileRequest &Request) {
 
 CompileService::JobHandle CompileService::submit(CompileRequest Request,
                                                  Callback Cb) {
+  JobHandle H;
+  submitImpl(std::move(Request), std::move(Cb), /*Blocking=*/true, H);
+  return H;
+}
+
+CompileService::SubmitStatus
+CompileService::trySubmit(CompileRequest Request, JobHandle &Out,
+                          Callback Cb) {
+  Out = JobHandle();
+  return submitImpl(std::move(Request), std::move(Cb), /*Blocking=*/false,
+                    Out);
+}
+
+CompileService::SubmitStatus
+CompileService::submitImpl(CompileRequest Request, Callback Cb, bool Blocking,
+                           JobHandle &Out) {
   auto Now = std::chrono::steady_clock::now();
   JobKey Key;
   if (Options.Deduplicate)
@@ -230,10 +249,17 @@ CompileService::JobHandle CompileService::submit(CompileRequest Request,
   bool Rejected = false;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    ++Counts.Submitted;
-    if (ShuttingDown)
+    // A blocking submit counts even when rejected (the caller gets a
+    // resolved-Failed handle); a non-blocking one counts only work that
+    // actually entered the system — shed submissions are the transport's
+    // statistic, not the service's.
+    if (Blocking)
+      ++Counts.Submitted;
+    if (ShuttingDown) {
+      if (!Blocking)
+        return SubmitStatus::ShutDown;
       Rejected = true;
-    else if (Options.Deduplicate) {
+    } else if (Options.Deduplicate) {
       auto It = InFlight.find(Key.Hash);
       if (It != InFlight.end())
         for (std::pair<JobKey, std::shared_ptr<Job>> &Entry : It->second)
@@ -250,6 +276,8 @@ CompileService::JobHandle CompileService::submit(CompileRequest Request,
                 J->Callbacks.push_back(std::move(Cb));
               Coalesced = true;
               ++Counts.Coalesced;
+              if (!Blocking)
+                ++Counts.Submitted;
             }
             break;
           }
@@ -262,6 +290,11 @@ CompileService::JobHandle CompileService::submit(CompileRequest Request,
       J->EnqueueTime = Now;
       if (J->Request.CancelAtCheckpoint > 0)
         J->Cancel.cancelAtCheckpoint(J->Request.CancelAtCheckpoint);
+      if (J->Request.DeadlineSeconds > 0)
+        J->Cancel.setDeadline(
+            Now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          J->Request.DeadlineSeconds)));
       if (Cb)
         J->Callbacks.push_back(std::move(Cb));
       if (!Rejected) {
@@ -270,33 +303,55 @@ CompileService::JobHandle CompileService::submit(CompileRequest Request,
           InFlight[J->Key.Hash].push_back({J->Key, J});
           J->InDedupIndex = true;
         }
+        if (!Blocking) {
+          // Post under the service mutex — tryPost never waits, and a
+          // failed post must roll the registration back before any
+          // concurrent submit can coalesce onto the never-queued job.
+          WorkerPool::PostResult R =
+              Pool.tryPost([this, J]() { runJob(J); }, J->Request.Priority);
+          if (R != WorkerPool::PostResult::Posted) {
+            if (J->InDedupIndex)
+              removeFromDedupLocked(J);
+            Live.erase(J->Id);
+            return R == WorkerPool::PostResult::Full
+                       ? SubmitStatus::QueueFull
+                       : SubmitStatus::ShutDown;
+          }
+          ++Counts.Submitted;
+        }
       }
     }
   }
 
-  if (Coalesced)
-    return JobHandle(std::move(J), /*Coalesced=*/true, this);
+  if (Coalesced) {
+    Out = JobHandle(std::move(J), /*Coalesced=*/true, this);
+    return SubmitStatus::Coalesced;
+  }
 
   if (Rejected) {
-    JobOutcome Out;
-    Out.State = JobState::Failed;
-    Out.Diagnostic = "service is shut down";
-    resolveJob(J, std::move(Out));
-    return JobHandle(std::move(J), /*Coalesced=*/false, this);
+    JobOutcome RejOut;
+    RejOut.State = JobState::Failed;
+    RejOut.Diagnostic = "service is shut down";
+    resolveJob(J, std::move(RejOut));
+    Out = JobHandle(std::move(J), /*Coalesced=*/false, this);
+    return SubmitStatus::ShutDown;
   }
 
-  // Outside the service mutex: a bounded pool queue may block here, and
-  // the workers that drain it take the service mutex to resolve.
-  bool Posted =
-      Pool.post([this, J]() { runJob(J); }, J->Request.Priority);
-  if (!Posted) {
-    JobOutcome Out;
-    Out.State = JobState::Failed;
-    Out.Diagnostic = "service is shut down";
-    Out.QueueSeconds = secondsSince(J->EnqueueTime);
-    resolveJob(J, std::move(Out));
+  if (Blocking) {
+    // Outside the service mutex: a bounded pool queue may block here, and
+    // the workers that drain it take the service mutex to resolve.
+    bool Posted =
+        Pool.post([this, J]() { runJob(J); }, J->Request.Priority);
+    if (!Posted) {
+      JobOutcome FailOut;
+      FailOut.State = JobState::Failed;
+      FailOut.Diagnostic = "service is shut down";
+      FailOut.QueueSeconds = secondsSince(J->EnqueueTime);
+      resolveJob(J, std::move(FailOut));
+    }
   }
-  return JobHandle(std::move(J), /*Coalesced=*/false, this);
+  Out = JobHandle(std::move(J), /*Coalesced=*/false, this);
+  return SubmitStatus::Accepted;
 }
 
 // --- Execution -----------------------------------------------------------
@@ -326,6 +381,19 @@ void CompileService::runJob(const std::shared_ptr<Job> &J) {
     return;
   }
 
+  // A job whose deadline lapsed while it sat in the queue expires here
+  // without burning a worker on a compile nobody is waiting for.
+  if (J->Cancel.expireIfPastDeadline()) {
+    JobOutcome Out;
+    Out.State = JobState::Cancelled;
+    Out.DeadlineExceeded = J->Cancel.wasDeadline();
+    Out.Diagnostic =
+        Out.DeadlineExceeded ? DeadlineDiagnostic : CancelledDiagnostic;
+    Out.QueueSeconds = QueueSeconds;
+    resolveJob(J, std::move(Out));
+    return;
+  }
+
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Counts.CompilesStarted;
@@ -346,9 +414,11 @@ void CompileService::runJob(const std::shared_ptr<Job> &J) {
                                              : JobState::Failed);
   Out.Metrics = std::move(Result.Metrics);
   Out.Wqasm = std::move(Result.Wqasm);
-  if (Result.Cancelled)
-    Out.Diagnostic = CancelledDiagnostic;
-  else if (Out.State == JobState::Failed)
+  if (Result.Cancelled) {
+    Out.DeadlineExceeded = J->Cancel.wasDeadline();
+    Out.Diagnostic =
+        Out.DeadlineExceeded ? DeadlineDiagnostic : CancelledDiagnostic;
+  } else if (Out.State == JobState::Failed)
     Out.Diagnostic = Out.Metrics.Diagnostic.empty()
                          ? "backend reported the instance infeasible"
                          : Out.Metrics.Diagnostic;
@@ -382,6 +452,8 @@ bool CompileService::resolveJob(const std::shared_ptr<Job> &J,
       break;
     case JobState::Cancelled:
       ++Counts.Cancelled;
+      if (J->Outcome.DeadlineExceeded)
+        ++Counts.DeadlineExceeded;
       break;
     default:
       ++Counts.Failed;
@@ -459,6 +531,24 @@ void CompileService::voteCancel(const std::shared_ptr<Job> &J,
   }
 }
 
+void CompileService::armDrainDeadline(double BudgetSeconds) {
+  auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, BudgetSeconds)));
+  std::vector<std::shared_ptr<Job>> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Snapshot.reserve(Live.size());
+    for (auto &Entry : Live)
+      Snapshot.push_back(Entry.second);
+  }
+  // setDeadline keeps the earliest deadline, so a job that already had a
+  // tighter per-request deadline is unaffected.
+  for (const std::shared_ptr<Job> &J : Snapshot)
+    J->Cancel.setDeadline(Deadline);
+}
+
 void CompileService::shutdown(bool Drain) {
   std::vector<std::shared_ptr<Job>> Pending;
   {
@@ -519,6 +609,7 @@ Table CompileService::statsTable() const {
   T.addRow({"  coalesced onto in-flight", std::to_string(S.Coalesced)});
   T.addRow({"jobs completed", std::to_string(S.Completed)});
   T.addRow({"jobs cancelled", std::to_string(S.Cancelled)});
+  T.addRow({"  past deadline", std::to_string(S.DeadlineExceeded)});
   T.addRow({"jobs rejected", std::to_string(S.Failed)});
   T.addRow({"compiles started", std::to_string(S.CompilesStarted)});
   T.addRow({"queue wait mean [ms]",

@@ -78,6 +78,13 @@ struct CompileRequest {
   /// queue position — priorities order distinct jobs, they do not
   /// re-prioritise one already queued.
   int Priority = 0;
+  /// Deadline in seconds from submission; 0 disables. A job past its
+  /// deadline cancels cooperatively: still queued, it resolves without
+  /// compiling; running, it aborts at the next between-pass checkpoint.
+  /// The outcome reports DeadlineExceeded so transports can distinguish
+  /// a deadline from a client cancellation. Part of the dedup identity —
+  /// requests with different deadline budgets never coalesce.
+  double DeadlineSeconds = 0;
   /// Testing aid: arms the job's CancelToken to self-cancel at the Nth
   /// cooperative checkpoint (see CancelToken::cancelAtCheckpoint). 0
   /// disables. This is how tests pin "cancelled between pass K and K+1"
@@ -103,6 +110,9 @@ struct JobOutcome {
   CacheTier Tier = CacheTier::None;
   /// This handle attached to an already in-flight identical job.
   bool Coalesced = false;
+  /// State == Cancelled because the request's deadline expired (not a
+  /// client vote or shutdown).
+  bool DeadlineExceeded = false;
 };
 
 /// CompileService configuration.
@@ -184,6 +194,9 @@ public:
     /// Rejected at submit (shutdown) or compile reported infeasible
     /// (backend TimedOut/Unsupported, malformed input).
     uint64_t Failed = 0;
+    /// Cancelled jobs whose cancellation was a deadline expiry (subset of
+    /// Cancelled).
+    uint64_t DeadlineExceeded = 0;
     uint64_t CompilesStarted = 0; ///< jobs whose backend compile began
     uint64_t FrontTierHits = 0;   ///< compiles served from the front tier
     uint64_t ProgramTierHits = 0; ///< compiles served from a template
@@ -211,11 +224,39 @@ public:
   /// fires.
   JobHandle submit(CompileRequest Request, Callback Cb = nullptr);
 
+  /// Outcome of a non-blocking trySubmit.
+  enum class SubmitStatus {
+    Accepted,  ///< a fresh job was queued
+    Coalesced, ///< attached to an identical in-flight job (no queue slot)
+    QueueFull, ///< rejected: job queue at capacity (handle is invalid)
+    ShutDown,  ///< rejected: service is shutting down (handle is invalid)
+  };
+
+  /// Non-blocking submit for transports that must never stall their
+  /// accept/poll loop: where submit() would block on a full job queue,
+  /// this rejects with QueueFull so the caller can shed load (e.g. a
+  /// RETRYING_LATER frame with a suggested backoff). Coalescing onto an
+  /// in-flight job never consumes a queue slot and still succeeds at
+  /// capacity. On QueueFull/ShutDown nothing was enqueued, no callback
+  /// will fire, and \p Out is left invalid.
+  SubmitStatus trySubmit(CompileRequest Request, JobHandle &Out,
+                         Callback Cb = nullptr);
+
   /// Stops the service. Drain=true compiles every queued job first;
   /// Drain=false cancels queued jobs and asks running ones to abort at
   /// their next checkpoint. Either way every job is resolved and all
   /// workers have exited when this returns. Idempotent.
   void shutdown(bool Drain = true);
+
+  /// Arms a drain budget: every currently live (queued or running) job
+  /// gets its CancelToken deadline tightened to now + \p BudgetSeconds.
+  /// Jobs that finish inside the budget complete normally; the rest
+  /// cancel at their next checkpoint with DeadlineExceeded. The graceful-
+  /// drain path calls this, then shutdown(/*Drain=*/true).
+  void armDrainDeadline(double BudgetSeconds);
+
+  /// Jobs waiting in the pool queue right now (admission-control input).
+  size_t queueDepth() const { return Pool.queueDepth(); }
 
   ServiceStats stats() const;
   /// Aggregate stats as a support/Table ("metric" / "value" rows).
@@ -242,6 +283,11 @@ private:
     }
   };
   static JobKey makeKey(const CompileRequest &Request);
+
+  /// Shared body of submit()/trySubmit(); Blocking selects Pool.post vs
+  /// Pool.tryPost under the service mutex.
+  SubmitStatus submitImpl(CompileRequest Request, Callback Cb, bool Blocking,
+                          JobHandle &Out);
 
   const baselines::Backend &backendFor(baselines::BackendKind Kind) const;
   void runJob(const std::shared_ptr<Job> &J);

@@ -1,0 +1,177 @@
+//===- net/Client.cpp - Frame-protocol client with retry -----------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+using namespace weaver;
+using namespace weaver::net;
+
+double Client::backoffSeconds(int Attempt) {
+  double Base = Options.InitialBackoffSeconds *
+                std::pow(2.0, std::min(Attempt, 20));
+  Base = std::min(Base, Options.MaxBackoffSeconds);
+  // Uniform jitter in [0.5, 1.0): desynchronises retrying clients
+  // without ever collapsing the wait to zero.
+  return Base * (0.5 + 0.5 * Rng.nextDouble());
+}
+
+Status Client::connect() {
+  close();
+  Parser = FrameParser(MaxResponseFrameBytes);
+  std::string LastError = "no connect attempts made";
+  for (int Attempt = 0; Attempt < std::max(1, Options.MaxConnectAttempts);
+       ++Attempt) {
+    if (Attempt > 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoffSeconds(Attempt - 1)));
+    auto Sock = tcpConnect(Options.Host, Options.Port);
+    if (Sock) {
+      Socket = Sock.take();
+      setNoDelay(Socket.get());
+      return Status::success();
+    }
+    LastError = Sock.message();
+  }
+  return Status::error("connect failed after " +
+                       std::to_string(std::max(1, Options.MaxConnectAttempts)) +
+                       " attempts: " + LastError);
+}
+
+Status Client::sendBytes(const std::string &Bytes) {
+  if (!connected())
+    return Status::error("client is not connected");
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(Options.IoTimeoutSeconds));
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    size_t NumWritten = 0;
+    IoResult R = writeSome(Socket.get(), Bytes.data() + Off,
+                           Bytes.size() - Off, NumWritten);
+    if (R == IoResult::Error || R == IoResult::Closed) {
+      close();
+      return Status::error("connection lost while sending");
+    }
+    if (R == IoResult::Ok) {
+      Off += NumWritten;
+      continue;
+    }
+    double Left =
+        std::chrono::duration<double>(Deadline - Clock::now()).count();
+    if (Left <= 0)
+      return Status::error("send timed out");
+    int Wait = std::max(1, static_cast<int>(std::min(Left * 1000, 1000.0)));
+    pollOne(Socket.get(), /*WantWrite=*/true, Wait);
+  }
+  return Status::success();
+}
+
+bool Client::tryReadFrame(Frame &Out) {
+  if (Parser.next(Out))
+    return true;
+  if (!connected())
+    return false;
+  char Buf[16384];
+  while (true) {
+    size_t NumRead = 0;
+    IoResult R = readSome(Socket.get(), Buf, sizeof(Buf), NumRead);
+    if (R == IoResult::Closed || R == IoResult::Error) {
+      close();
+      return false;
+    }
+    if (R == IoResult::WouldBlock)
+      return false;
+    if (!Parser.feed(Buf, NumRead)) {
+      close();
+      return false;
+    }
+    if (Parser.next(Out))
+      return true;
+  }
+}
+
+Expected<Frame> Client::readFrame(double TimeoutSeconds) {
+  if (TimeoutSeconds <= 0)
+    TimeoutSeconds = Options.IoTimeoutSeconds;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(TimeoutSeconds));
+  Frame F;
+  while (true) {
+    if (tryReadFrame(F))
+      return F;
+    if (!connected())
+      return Expected<Frame>::error(Parser.poisoned()
+                                        ? "response framing corrupt"
+                                        : "connection closed by server");
+    double Left =
+        std::chrono::duration<double>(Deadline - Clock::now()).count();
+    if (Left <= 0)
+      return Expected<Frame>::error("timed out waiting for a frame");
+    int Wait = std::max(1, static_cast<int>(std::min(Left * 1000, 1000.0)));
+    pollOne(Socket.get(), /*WantWrite=*/false, Wait);
+  }
+}
+
+Expected<ResultFrame> Client::compileSync(const CompileFrame &F,
+                                          int MaxAttempts) {
+  for (int Attempt = 0; Attempt < std::max(1, MaxAttempts); ++Attempt) {
+    if (Status S = sendCompile(F))
+      return Expected<ResultFrame>::error(S.message());
+    // Skip unsolicited frames (pongs, going-away notices) until this
+    // request's result arrives.
+    while (true) {
+      auto Received = readFrame();
+      if (!Received)
+        return Received.status();
+      if (Received->Type == FrameType::Error) {
+        auto E = decodeError(Received->Payload);
+        return Expected<ResultFrame>::error(
+            E ? "server rejected request: " + E->Message
+              : "server sent an undecodable error frame");
+      }
+      if (Received->Type != FrameType::Result)
+        continue;
+      auto R = decodeResult(Received->Payload);
+      if (!R)
+        return R.status();
+      if (R->RequestId != F.RequestId)
+        continue; // stale result from an earlier pipelined request
+      if (R->Code != ResponseCode::RetryLater)
+        return R;
+      // Shed: honour the server's backoff hint (jittered client-side so
+      // shed cohorts do not resubmit as one thundering herd).
+      double SuggestedSeconds = R->BackoffMs / 1000.0;
+      double Wait = std::max(SuggestedSeconds * (0.5 + 0.5 * Rng.nextDouble()),
+                             0.001);
+      std::this_thread::sleep_for(std::chrono::duration<double>(Wait));
+      break;
+    }
+  }
+  return Expected<ResultFrame>::error(
+      "request shed " + std::to_string(std::max(1, MaxAttempts)) +
+      " times; giving up");
+}
+
+Expected<StatsFrame> Client::stats() {
+  if (Status S = sendStatsRequest())
+    return Expected<StatsFrame>::error(S.message());
+  while (true) {
+    auto Received = readFrame();
+    if (!Received)
+      return Received.status();
+    if (Received->Type != FrameType::Stats)
+      continue;
+    return decodeStats(Received->Payload);
+  }
+}

@@ -1,0 +1,110 @@
+//===- net/Client.h - Frame-protocol client with retry ---------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the net::Protocol transport: connect with bounded
+/// retries and jittered exponential backoff, pipelined frame send,
+/// blocking and non-blocking frame receive, and a compileSync
+/// convenience that honours the server's RETRYING_LATER backoff
+/// contract. Used by tools/load_gen, tools/weaver_client-style callers,
+/// and the transport tests.
+///
+/// Backoff policy: attempt K sleeps InitialBackoff * 2^K, capped at
+/// MaxBackoff, times a uniform jitter in [0.5, 1.0] drawn from a seeded
+/// generator — a thousand load-generator clients bouncing off a draining
+/// server must not reconnect in lockstep, and a seeded test must replay
+/// the same schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_NET_CLIENT_H
+#define WEAVER_NET_CLIENT_H
+
+#include "net/Protocol.h"
+#include "support/Rng.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace weaver {
+namespace net {
+
+struct ClientOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  /// Connect attempts before giving up.
+  int MaxConnectAttempts = 8;
+  double InitialBackoffSeconds = 0.05;
+  double MaxBackoffSeconds = 2.0;
+  /// Jitter/backoff randomness seed (deterministic per client).
+  uint64_t Seed = 1;
+  /// Default bound on blocking sends and receives.
+  double IoTimeoutSeconds = 120;
+};
+
+class Client {
+public:
+  explicit Client(ClientOptions Options)
+      : Options(Options), Rng(Options.Seed ? Options.Seed : 1),
+        Parser(MaxResponseFrameBytes) {}
+
+  /// Connects with retries and jittered exponential backoff.
+  Status connect();
+  bool connected() const { return Socket.valid(); }
+  void close() { Socket.reset(); }
+  int fd() const { return Socket.get(); }
+
+  /// Blocking bounded-time send of pre-encoded frame bytes.
+  Status sendBytes(const std::string &Bytes);
+
+  Status sendCompile(const CompileFrame &F) {
+    return sendBytes(encodeCompile(F));
+  }
+  Status sendCancel(uint64_t RequestId) {
+    CancelFrame F;
+    F.RequestId = RequestId;
+    return sendBytes(encodeCancel(F));
+  }
+  Status sendStatsRequest() { return sendBytes(encodeStatsRequest()); }
+  Status sendPing() { return sendBytes(encodePing()); }
+
+  /// Blocks until one complete frame arrives (up to \p TimeoutSeconds;
+  /// <= 0 uses Options.IoTimeoutSeconds).
+  Expected<Frame> readFrame(double TimeoutSeconds = 0);
+
+  /// Non-blocking receive: drains whatever the socket has and pops one
+  /// frame if complete. Returns false with Out untouched when no full
+  /// frame is buffered yet. Connection loss or poisoned framing closes
+  /// the client (check connected()).
+  bool tryReadFrame(Frame &Out);
+
+  /// Round-trips one compile request. Transparently resubmits on
+  /// RETRYING_LATER after honouring the server's suggested backoff, up
+  /// to \p MaxAttempts submissions. Any other response — including
+  /// DEADLINE_EXCEEDED and GOING_AWAY — is returned to the caller as a
+  /// ResultFrame; only transport failures become errors.
+  Expected<ResultFrame> compileSync(const CompileFrame &F,
+                                    int MaxAttempts = 8);
+
+  /// Round-trips a stats request.
+  Expected<StatsFrame> stats();
+
+  /// Next backoff duration for attempt \p Attempt (0-based), with
+  /// jitter applied. Exposed for callers running their own retry loops.
+  double backoffSeconds(int Attempt);
+
+private:
+  ClientOptions Options;
+  Xoshiro256 Rng;
+  FdHandle Socket;
+  FrameParser Parser;
+};
+
+} // namespace net
+} // namespace weaver
+
+#endif // WEAVER_NET_CLIENT_H

@@ -1,0 +1,52 @@
+//===- net/FaultInjector.cpp - Deterministic transport faults ------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FaultInjector.h"
+
+#include "support/StringUtils.h"
+
+using namespace weaver;
+using namespace weaver::net;
+
+Expected<FaultConfig> net::parseFaultConfig(std::string_view Spec) {
+  using EC = Expected<FaultConfig>;
+  FaultConfig Config;
+  if (trim(Spec).empty())
+    return Config;
+  for (std::string_view Item : split(Spec, ',')) {
+    auto Eq = Item.find('=');
+    if (Eq == std::string_view::npos)
+      return EC::error("malformed fault spec item '" + std::string(Item) +
+                       "' (expected key=value)");
+    std::string_view Key = trim(Item.substr(0, Eq));
+    std::string_view Value = trim(Item.substr(Eq + 1));
+    if (Key == "seed") {
+      auto Seed = parseBoundedInt(Value, 0, INT64_MAX);
+      if (!Seed)
+        return EC::error("invalid fault seed: " + Seed.message());
+      Config.Seed = static_cast<uint64_t>(*Seed);
+      continue;
+    }
+    auto Prob = parseFiniteDouble(Value);
+    if (!Prob)
+      return EC::error("invalid fault probability for '" + std::string(Key) +
+                       "': " + Prob.message());
+    if (*Prob < 0 || *Prob > 1)
+      return EC::error("fault probability for '" + std::string(Key) +
+                       "' outside [0, 1]");
+    if (Key == "kill")
+      Config.KillProb = *Prob;
+    else if (Key == "partial")
+      Config.PartialWriteProb = *Prob;
+    else if (Key == "delay")
+      Config.DelayReadProb = *Prob;
+    else if (Key == "truncate")
+      Config.TruncateProb = *Prob;
+    else
+      return EC::error("unknown fault spec key: '" + std::string(Key) + "'");
+  }
+  return Config;
+}

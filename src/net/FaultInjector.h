@@ -1,0 +1,122 @@
+//===- net/FaultInjector.h - Deterministic transport faults ----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Probabilistic transport-fault injection for robustness testing. The
+/// server consults one FaultInjector from its poll loop (single-threaded,
+/// no locking) at well-defined points: after accepting a connection,
+/// before each write, and after each read. Faults are driven by a seeded
+/// Xoshiro256 stream, so a given (seed, request schedule) reproduces the
+/// same kill/truncate decisions — CI runs fixed seeds and asserts the
+/// exact same survivor set every time.
+///
+/// Disabled (the default, all probabilities zero) the injector is a
+/// handful of predictable branches; production builds pay nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_NET_FAULTINJECTOR_H
+#define WEAVER_NET_FAULTINJECTOR_H
+
+#include "support/Rng.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace weaver {
+namespace net {
+
+/// Fault probabilities; all zero means no injection.
+struct FaultConfig {
+  uint64_t Seed = 0;
+  double KillProb = 0;         ///< abruptly close the connection
+  double PartialWriteProb = 0; ///< truncate one write() to a prefix
+  double DelayReadProb = 0;    ///< pretend a read returned no data
+  double TruncateProb = 0;     ///< drop bytes from a read (corrupts framing)
+
+  bool enabled() const {
+    return KillProb > 0 || PartialWriteProb > 0 || DelayReadProb > 0 ||
+           TruncateProb > 0;
+  }
+};
+
+/// Parses "seed=7,kill=0.02,partial=0.3,delay=0.2,truncate=0.01".
+/// Unknown keys, bad numbers, and probabilities outside [0, 1] are
+/// errors (the injector exists to harden parsing; it must not itself
+/// accept garbage).
+Expected<FaultConfig> parseFaultConfig(std::string_view Spec);
+
+/// Counters of injected faults, for logging and test assertions.
+struct FaultStats {
+  uint64_t Kills = 0;
+  uint64_t PartialWrites = 0;
+  uint64_t DelayedReads = 0;
+  uint64_t TruncatedReads = 0;
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultConfig &Config = FaultConfig())
+      : Config(Config), Rng(Config.Seed) {}
+
+  bool enabled() const { return Config.enabled(); }
+
+  /// Should this connection be killed right now?
+  bool shouldKill() {
+    if (roll(Config.KillProb)) {
+      ++Stats.Kills;
+      return true;
+    }
+    return false;
+  }
+
+  /// Clamps \p WriteLen for one write; returns a strict prefix length
+  /// (>= 1 so progress is still made, the slow path not a livelock).
+  size_t clampWrite(size_t WriteLen) {
+    if (WriteLen > 1 && roll(Config.PartialWriteProb)) {
+      ++Stats.PartialWrites;
+      return 1 + Rng.nextBelow(WriteLen - 1);
+    }
+    return WriteLen;
+  }
+
+  /// Should this read be deferred to a later poll cycle?
+  bool shouldDelayRead() {
+    if (roll(Config.DelayReadProb)) {
+      ++Stats.DelayedReads;
+      return true;
+    }
+    return false;
+  }
+
+  /// Clamps \p ReadLen, dropping a suffix of the received bytes. The
+  /// dropped bytes are gone — framing on that connection is corrupt and
+  /// the server must detect it (poisoned parser or read-idle timeout).
+  size_t clampRead(size_t ReadLen) {
+    if (ReadLen > 0 && roll(Config.TruncateProb)) {
+      ++Stats.TruncatedReads;
+      return Rng.nextBelow(ReadLen);
+    }
+    return ReadLen;
+  }
+
+  const FaultStats &stats() const { return Stats; }
+
+private:
+  bool roll(double Prob) {
+    return Prob > 0 && Rng.nextDouble() < Prob;
+  }
+
+  FaultConfig Config;
+  Xoshiro256 Rng;
+  FaultStats Stats;
+};
+
+} // namespace net
+} // namespace weaver
+
+#endif // WEAVER_NET_FAULTINJECTOR_H

@@ -1,0 +1,473 @@
+//===- net/Protocol.cpp - Length-prefixed wire protocol ------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include "support/BinaryIO.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace weaver;
+using namespace weaver::net;
+
+const char *net::frameTypeName(FrameType Type) {
+  switch (Type) {
+  case FrameType::CompileRequest:
+    return "compile";
+  case FrameType::CancelRequest:
+    return "cancel";
+  case FrameType::StatsRequest:
+    return "stats-request";
+  case FrameType::Ping:
+    return "ping";
+  case FrameType::Result:
+    return "result";
+  case FrameType::Stats:
+    return "stats";
+  case FrameType::Error:
+    return "error";
+  case FrameType::GoingAway:
+    return "going-away";
+  case FrameType::Pong:
+    return "pong";
+  }
+  return "unknown";
+}
+
+const char *net::responseCodeName(ResponseCode Code) {
+  switch (Code) {
+  case ResponseCode::Ok:
+    return "OK";
+  case ResponseCode::Failed:
+    return "FAILED";
+  case ResponseCode::Cancelled:
+    return "CANCELLED";
+  case ResponseCode::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
+  case ResponseCode::RetryLater:
+    return "RETRYING_LATER";
+  case ResponseCode::GoingAway:
+    return "GOING_AWAY";
+  case ResponseCode::Malformed:
+    return "MALFORMED";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t StatsFrame::counter(std::string_view Name) const {
+  for (const auto &KV : Counters)
+    if (KV.first == Name)
+      return KV.second;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+/// Wraps \p Payload in the [u32 Length][u8 Type] header.
+static std::string wrapFrame(FrameType Type, const BinaryWriter &Payload) {
+  std::string Out;
+  uint32_t Length = static_cast<uint32_t>(1 + Payload.size());
+  Out.reserve(4 + Length);
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>(Length >> (8 * I)));
+  Out.push_back(static_cast<char>(Type));
+  Out.append(reinterpret_cast<const char *>(Payload.bytes().data()),
+             Payload.size());
+  return Out;
+}
+
+std::string net::encodeCompile(const CompileFrame &F) {
+  BinaryWriter W;
+  W.writeU64(F.RequestId);
+  W.writeU8(static_cast<uint8_t>(F.Kind));
+  W.writeI64(F.Priority);
+  W.writeU32(F.DeadlineMs);
+  W.writeF64(F.Gamma);
+  W.writeF64(F.Beta);
+  W.writeI64(F.Layers);
+  W.writeU8(F.Measure ? 1 : 0);
+  W.writeU8(F.Compressed ? 1 : 0);
+  W.writeU8(static_cast<uint8_t>(F.Source));
+  if (F.Source == FormulaSource::Satlib) {
+    W.writeI64(F.NumVars);
+    W.writeI64(F.Index);
+  } else {
+    W.writeString(F.Dimacs);
+  }
+  return wrapFrame(FrameType::CompileRequest, W);
+}
+
+std::string net::encodeCancel(const CancelFrame &F) {
+  BinaryWriter W;
+  W.writeU64(F.RequestId);
+  return wrapFrame(FrameType::CancelRequest, W);
+}
+
+std::string net::encodeStatsRequest() {
+  return wrapFrame(FrameType::StatsRequest, BinaryWriter());
+}
+
+std::string net::encodePing() {
+  return wrapFrame(FrameType::Ping, BinaryWriter());
+}
+
+std::string net::encodeResult(const ResultFrame &F) {
+  BinaryWriter W;
+  W.writeU64(F.RequestId);
+  W.writeU8(static_cast<uint8_t>(F.Code));
+  W.writeU32(F.BackoffMs);
+  W.writeF64(F.QueueSeconds);
+  W.writeF64(F.CompileSeconds);
+  W.writeU8(F.CacheTier);
+  W.writeU64(F.Pulses);
+  W.writeString(F.Diagnostic);
+  W.writeString(F.Wqasm);
+  return wrapFrame(FrameType::Result, W);
+}
+
+std::string net::encodeStats(const StatsFrame &F) {
+  BinaryWriter W;
+  W.writeU64(F.Counters.size());
+  for (const auto &KV : F.Counters) {
+    W.writeString(KV.first);
+    W.writeU64(KV.second);
+  }
+  W.writeString(F.Text);
+  return wrapFrame(FrameType::Stats, W);
+}
+
+std::string net::encodeError(const ErrorFrame &F) {
+  BinaryWriter W;
+  W.writeU8(static_cast<uint8_t>(F.Code));
+  W.writeString(F.Message);
+  return wrapFrame(FrameType::Error, W);
+}
+
+std::string net::encodeGoingAway(const std::string &Reason) {
+  BinaryWriter W;
+  W.writeString(Reason);
+  return wrapFrame(FrameType::GoingAway, W);
+}
+
+std::string net::encodePong() {
+  return wrapFrame(FrameType::Pong, BinaryWriter());
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+/// Requires the reader to be healthy with no trailing bytes — a payload
+/// longer than its fields is as suspect as a truncated one.
+static Status finishDecode(const BinaryReader &R, const char *What) {
+  if (!R.ok())
+    return Status::error(std::string("truncated or malformed ") + What +
+                         " payload");
+  if (R.remaining() != 0)
+    return Status::error(std::string("trailing bytes after ") + What +
+                         " payload");
+  return Status::success();
+}
+
+Status net::validateCompileParams(const CompileFrame &F) {
+  bool KnownKind = false;
+  for (baselines::BackendKind K : baselines::AllBackendKinds)
+    KnownKind |= K == F.Kind;
+  if (!KnownKind)
+    return Status::error("unknown backend kind in compile request");
+  if (!std::isfinite(F.Gamma) || !std::isfinite(F.Beta))
+    return Status::error("non-finite QAOA angle in compile request");
+  if (F.Layers < 1 || F.Layers > MaxRequestLayers)
+    return Status::error("QAOA layer count out of range [1, " +
+                         std::to_string(MaxRequestLayers) + "]");
+  if (F.Priority < -MaxRequestPriority || F.Priority > MaxRequestPriority)
+    return Status::error("priority out of range");
+  if (F.DeadlineMs > MaxDeadlineMs)
+    return Status::error("deadline exceeds limit of " +
+                         std::to_string(MaxDeadlineMs) + " ms");
+  if (F.Source == FormulaSource::Satlib) {
+    if (F.NumVars < 1 || F.NumVars > MaxRequestVars)
+      return Status::error("satlib variable count out of range [1, " +
+                           std::to_string(MaxRequestVars) + "]");
+    if (F.Index < 1 || F.Index > MaxRequestIndex)
+      return Status::error("satlib instance index out of range [1, " +
+                           std::to_string(MaxRequestIndex) + "]");
+  } else if (F.Source == FormulaSource::Dimacs) {
+    if (F.Dimacs.empty())
+      return Status::error("empty DIMACS text in compile request");
+  } else {
+    return Status::error("unknown formula source in compile request");
+  }
+  return Status::success();
+}
+
+Expected<CompileFrame> net::decodeCompile(std::string_view Payload) {
+  BinaryReader R(Payload.data(), Payload.size());
+  CompileFrame F;
+  F.RequestId = R.readU64();
+  F.Kind = static_cast<baselines::BackendKind>(R.readU8());
+  int64_t Priority = R.readI64();
+  F.DeadlineMs = R.readU32();
+  F.Gamma = R.readF64();
+  F.Beta = R.readF64();
+  int64_t Layers = R.readI64();
+  F.Measure = R.readU8() != 0;
+  F.Compressed = R.readU8() != 0;
+  uint8_t Source = R.readU8();
+  if (Source > 1) {
+    return Expected<CompileFrame>::error(
+        "unknown formula source in compile request");
+  }
+  F.Source = static_cast<FormulaSource>(Source);
+  int64_t NumVars = 0, Index = 0;
+  if (F.Source == FormulaSource::Satlib) {
+    NumVars = R.readI64();
+    Index = R.readI64();
+  } else {
+    F.Dimacs = R.readString();
+  }
+  if (Status S = finishDecode(R, "compile"))
+    return Expected<CompileFrame>::error(S.message());
+  // Range-check the wide wire integers before narrowing them.
+  if (Priority < INT32_MIN || Priority > INT32_MAX || Layers < INT32_MIN ||
+      Layers > INT32_MAX || NumVars < INT32_MIN || NumVars > INT32_MAX ||
+      Index < INT32_MIN || Index > INT32_MAX)
+    return Expected<CompileFrame>::error(
+        "integer field out of range in compile request");
+  F.Priority = static_cast<int32_t>(Priority);
+  F.Layers = static_cast<int32_t>(Layers);
+  F.NumVars = static_cast<int32_t>(NumVars);
+  F.Index = static_cast<int32_t>(Index);
+  if (Status S = validateCompileParams(F))
+    return Expected<CompileFrame>::error(S.message());
+  return F;
+}
+
+Expected<CancelFrame> net::decodeCancel(std::string_view Payload) {
+  BinaryReader R(Payload.data(), Payload.size());
+  CancelFrame F;
+  F.RequestId = R.readU64();
+  if (Status S = finishDecode(R, "cancel"))
+    return Expected<CancelFrame>::error(S.message());
+  return F;
+}
+
+Expected<ResultFrame> net::decodeResult(std::string_view Payload) {
+  BinaryReader R(Payload.data(), Payload.size());
+  ResultFrame F;
+  F.RequestId = R.readU64();
+  uint8_t Code = R.readU8();
+  if (Code > static_cast<uint8_t>(ResponseCode::Malformed))
+    return Expected<ResultFrame>::error("unknown response code");
+  F.Code = static_cast<ResponseCode>(Code);
+  F.BackoffMs = R.readU32();
+  F.QueueSeconds = R.readF64();
+  F.CompileSeconds = R.readF64();
+  F.CacheTier = R.readU8();
+  F.Pulses = R.readU64();
+  F.Diagnostic = R.readString();
+  F.Wqasm = R.readString();
+  if (Status S = finishDecode(R, "result"))
+    return Expected<ResultFrame>::error(S.message());
+  return F;
+}
+
+Expected<StatsFrame> net::decodeStats(std::string_view Payload) {
+  BinaryReader R(Payload.data(), Payload.size());
+  StatsFrame F;
+  size_t Count = R.readLength(/*MinElemBytes=*/16);
+  F.Counters.reserve(Count);
+  for (size_t I = 0; I < Count && R.ok(); ++I) {
+    std::string Name = R.readString();
+    uint64_t Value = R.readU64();
+    F.Counters.emplace_back(std::move(Name), Value);
+  }
+  F.Text = R.readString();
+  if (Status S = finishDecode(R, "stats"))
+    return Expected<StatsFrame>::error(S.message());
+  return F;
+}
+
+Expected<ErrorFrame> net::decodeError(std::string_view Payload) {
+  BinaryReader R(Payload.data(), Payload.size());
+  ErrorFrame F;
+  uint8_t Code = R.readU8();
+  if (Code > static_cast<uint8_t>(ResponseCode::Malformed))
+    return Expected<ErrorFrame>::error("unknown response code");
+  F.Code = static_cast<ResponseCode>(Code);
+  F.Message = R.readString();
+  if (Status S = finishDecode(R, "error"))
+    return Expected<ErrorFrame>::error(S.message());
+  return F;
+}
+
+Expected<std::string> net::decodeGoingAway(std::string_view Payload) {
+  BinaryReader R(Payload.data(), Payload.size());
+  std::string Reason = R.readString();
+  if (Status S = finishDecode(R, "going-away"))
+    return Expected<std::string>::error(S.message());
+  return Reason;
+}
+
+//===----------------------------------------------------------------------===//
+// FrameParser
+//===----------------------------------------------------------------------===//
+
+bool FrameParser::feed(const char *Data, size_t Len) {
+  if (Poisoned)
+    return false;
+  // Compact once the parsed prefix dominates the buffer, so a long-lived
+  // connection doesn't grow its buffer without bound.
+  if (Consumed > 4096 && Consumed >= Buf.size() / 2) {
+    Buf.erase(0, Consumed);
+    Consumed = 0;
+  }
+  Buf.append(Data, Len);
+  // Validate the pending frame's length prefix eagerly: a hostile prefix
+  // poisons the stream the moment it arrives, so the connection can be
+  // dropped now instead of idling until a read timeout.
+  if (Buf.size() - Consumed >= 4) {
+    const unsigned char *P =
+        reinterpret_cast<const unsigned char *>(Buf.data()) + Consumed;
+    uint32_t Length = static_cast<uint32_t>(P[0]) |
+                      (static_cast<uint32_t>(P[1]) << 8) |
+                      (static_cast<uint32_t>(P[2]) << 16) |
+                      (static_cast<uint32_t>(P[3]) << 24);
+    if (Length == 0 || Length > MaxFrame) {
+      Poisoned = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FrameParser::next(Frame &Out) {
+  if (Poisoned)
+    return false;
+  size_t Avail = Buf.size() - Consumed;
+  if (Avail < 4)
+    return false;
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Buf.data()) + Consumed;
+  uint32_t Length = static_cast<uint32_t>(P[0]) |
+                    (static_cast<uint32_t>(P[1]) << 8) |
+                    (static_cast<uint32_t>(P[2]) << 16) |
+                    (static_cast<uint32_t>(P[3]) << 24);
+  if (Length == 0 || Length > MaxFrame) {
+    Poisoned = true;
+    return false;
+  }
+  if (Avail < 4 + static_cast<size_t>(Length))
+    return false;
+  Out.Type = static_cast<FrameType>(P[4]);
+  Out.Payload.assign(Buf.data() + Consumed + 5, Length - 1);
+  Consumed += 4 + Length;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Serve-mode command lines
+//===----------------------------------------------------------------------===//
+
+Expected<ServeCommand> net::parseServeCommand(std::string_view Line) {
+  using EC = Expected<ServeCommand>;
+  if (Line.size() > MaxCommandLineBytes)
+    return EC::error("command line exceeds " +
+                     std::to_string(MaxCommandLineBytes) + " bytes");
+  if (Line.find('\0') != std::string_view::npos)
+    return EC::error("NUL byte in command line");
+  auto Fields = split(trim(Line), ' ');
+  if (Fields.empty())
+    return EC::error("empty command line");
+
+  ServeCommand Cmd;
+  std::string_view Verb = Fields[0];
+  if (Verb == "quit" || Verb == "exit") {
+    if (Fields.size() != 1)
+      return EC::error("quit takes no arguments");
+    Cmd.Act = ServeCommand::Action::Quit;
+    return Cmd;
+  }
+  if (Verb == "stats") {
+    if (Fields.size() != 1)
+      return EC::error("stats takes no arguments");
+    Cmd.Act = ServeCommand::Action::Stats;
+    return Cmd;
+  }
+  if (Verb == "cancel") {
+    if (Fields.size() != 2)
+      return EC::error("usage: cancel <jobid>");
+    auto Id = parseBoundedInt(Fields[1], 0, INT64_MAX);
+    if (!Id)
+      return EC::error("invalid job id: " + Id.status().message());
+    Cmd.Act = ServeCommand::Action::Cancel;
+    Cmd.CancelId = static_cast<uint64_t>(*Id);
+    return Cmd;
+  }
+  if (Verb == "file") {
+    if (Fields.size() < 2 || Fields.size() > 3)
+      return EC::error("usage: file <path> [backend]");
+    Cmd.Act = ServeCommand::Action::File;
+    Cmd.Path = std::string(Fields[1]);
+    if (Fields.size() == 3) {
+      auto Kind = baselines::backendKindFromName(std::string(Fields[2]));
+      if (!Kind)
+        return EC::error(Kind.status().message());
+      Cmd.FileKind = *Kind;
+    }
+    return Cmd;
+  }
+  if (Verb == "compile") {
+    // compile <backend> <nvars> <index> [gamma beta [priority [deadline]]]
+    if (Fields.size() < 4 || Fields.size() > 8 || Fields.size() == 5)
+      return EC::error("usage: compile <backend> <nvars> <index> "
+                       "[gamma beta [priority [deadline_ms]]]");
+    auto Kind = baselines::backendKindFromName(std::string(Fields[1]));
+    if (!Kind)
+      return EC::error(Kind.status().message());
+    auto NumVars = parseBoundedInt(Fields[2], 1, MaxRequestVars);
+    if (!NumVars)
+      return EC::error("invalid nvars: " + NumVars.status().message());
+    auto Index = parseBoundedInt(Fields[3], 1, MaxRequestIndex);
+    if (!Index)
+      return EC::error("invalid index: " + Index.status().message());
+    Cmd.Act = ServeCommand::Action::Compile;
+    Cmd.Compile.Kind = *Kind;
+    Cmd.Compile.NumVars = static_cast<int32_t>(*NumVars);
+    Cmd.Compile.Index = static_cast<int32_t>(*Index);
+    if (Fields.size() >= 6) {
+      auto Gamma = parseFiniteDouble(Fields[4]);
+      if (!Gamma)
+        return EC::error("invalid gamma: " + Gamma.status().message());
+      auto Beta = parseFiniteDouble(Fields[5]);
+      if (!Beta)
+        return EC::error("invalid beta: " + Beta.status().message());
+      Cmd.Compile.Gamma = *Gamma;
+      Cmd.Compile.Beta = *Beta;
+    }
+    if (Fields.size() >= 7) {
+      auto Priority =
+          parseBoundedInt(Fields[6], -MaxRequestPriority, MaxRequestPriority);
+      if (!Priority)
+        return EC::error("invalid priority: " + Priority.status().message());
+      Cmd.Compile.Priority = static_cast<int32_t>(*Priority);
+    }
+    if (Fields.size() == 8) {
+      auto Deadline = parseBoundedInt(Fields[7], 0, MaxDeadlineMs);
+      if (!Deadline)
+        return EC::error("invalid deadline: " + Deadline.status().message());
+      Cmd.Compile.DeadlineMs = static_cast<uint32_t>(*Deadline);
+    }
+    if (Status S = validateCompileParams(Cmd.Compile))
+      return EC::error(S.message());
+    return Cmd;
+  }
+  return EC::error("unknown command: '" + std::string(Verb) + "'");
+}

@@ -15,7 +15,8 @@
 using namespace weaver;
 using namespace weaver::sat;
 
-Expected<CnfFormula> sat::parseDimacs(std::string_view Text) {
+Expected<CnfFormula> sat::parseDimacs(std::string_view Text,
+                                      const DimacsLimits &Limits) {
   int NumVars = -1;
   size_t NumClausesDeclared = 0;
   std::vector<Clause> Clauses;
@@ -39,10 +40,20 @@ Expected<CnfFormula> sat::parseDimacs(std::string_view Text) {
       auto R2 = std::from_chars(Fields[3].data(),
                                 Fields[3].data() + Fields[3].size(),
                                 DeclaredClauses);
-      if (R1.ec != std::errc() || R2.ec != std::errc() || NumVars < 0 ||
+      if (R1.ec != std::errc() || R2.ec != std::errc() ||
+          R1.ptr != Fields[2].data() + Fields[2].size() ||
+          R2.ptr != Fields[3].data() + Fields[3].size() || NumVars < 0 ||
           DeclaredClauses < 0)
         return Expected<CnfFormula>::error(
             "invalid counts in DIMACS problem line");
+      if (NumVars > Limits.MaxVariables)
+        return Expected<CnfFormula>::error(
+            "declared variable count " + std::to_string(NumVars) +
+            " exceeds limit " + std::to_string(Limits.MaxVariables));
+      if (static_cast<size_t>(DeclaredClauses) > Limits.MaxClauses)
+        return Expected<CnfFormula>::error(
+            "declared clause count " + std::to_string(DeclaredClauses) +
+            " exceeds limit " + std::to_string(Limits.MaxClauses));
       NumClausesDeclared = static_cast<size_t>(DeclaredClauses);
       continue;
     }
@@ -52,10 +63,16 @@ Expected<CnfFormula> sat::parseDimacs(std::string_view Text) {
     for (std::string_view Tok : split(Line, ' ')) {
       int Lit = 0;
       auto R = std::from_chars(Tok.data(), Tok.data() + Tok.size(), Lit);
-      if (R.ec != std::errc())
+      // Whole-token match: "12x", embedded NUL bytes, and overflowing
+      // values are all hostile input, not literal 12.
+      if (R.ec != std::errc() || R.ptr != Tok.data() + Tok.size())
         return Expected<CnfFormula>::error("invalid literal token: '" +
                                            std::string(Tok) + "'");
       if (Lit == 0) {
+        if (Clauses.size() >= Limits.MaxClauses)
+          return Expected<CnfFormula>::error(
+              "clause count exceeds limit " +
+              std::to_string(Limits.MaxClauses));
         Clauses.push_back(Clause(Current));
         Current.clear();
         continue;
@@ -64,6 +81,10 @@ Expected<CnfFormula> sat::parseDimacs(std::string_view Text) {
         return Expected<CnfFormula>::error(
             "literal " + std::to_string(Lit) +
             " out of declared variable range " + std::to_string(NumVars));
+      if (Current.size() >= Limits.MaxClauseLiterals)
+        return Expected<CnfFormula>::error(
+            "clause literal count exceeds limit " +
+            std::to_string(Limits.MaxClauseLiterals));
       Current.push_back(Literal(Lit));
     }
   }
@@ -80,13 +101,14 @@ Expected<CnfFormula> sat::parseDimacs(std::string_view Text) {
   return CnfFormula(NumVars, std::move(Clauses));
 }
 
-Expected<CnfFormula> sat::parseDimacsFile(const std::string &Path) {
+Expected<CnfFormula> sat::parseDimacsFile(const std::string &Path,
+                                          const DimacsLimits &Limits) {
   std::ifstream In(Path);
   if (!In)
     return Expected<CnfFormula>::error("cannot open DIMACS file: " + Path);
   std::ostringstream Buf;
   Buf << In.rdbuf();
-  auto Result = parseDimacs(Buf.str());
+  auto Result = parseDimacs(Buf.str(), Limits);
   if (Result)
     Result->setName(Path);
   return Result;

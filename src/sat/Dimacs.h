@@ -23,13 +23,34 @@
 namespace weaver {
 namespace sat {
 
+/// Resource bounds applied while parsing untrusted DIMACS bytes (the
+/// networked file-style compile requests feed this parser attacker-
+/// controlled input). Every limit rejects with a parse error before the
+/// offending allocation happens: a "p cnf 2000000000 3" header must not
+/// size anything by its declared counts.
+struct DimacsLimits {
+  /// Maximum declared/used variable count. Per-variable occurrence lists
+  /// downstream make this the allocation-amplification knob: a formula
+  /// with V variables costs O(V) memory even with one clause.
+  int MaxVariables = 1000000;
+  /// Maximum clause count (declared or actually parsed).
+  size_t MaxClauses = 10000000;
+  /// Maximum literals in one clause. DIMACS clauses here are 1..3-literal
+  /// MAX-3SAT clauses; 1024 leaves generous room without letting one
+  /// unterminated clause swallow the whole input.
+  size_t MaxClauseLiterals = 1024;
+};
+
 /// Parses DIMACS CNF text ("c" comments, "p cnf V C" header, 0-terminated
 /// clauses). Returns an error for malformed headers, literals out of range,
-/// or missing clause terminators.
-Expected<CnfFormula> parseDimacs(std::string_view Text);
+/// missing clause terminators, or input exceeding \p Limits.
+Expected<CnfFormula> parseDimacs(std::string_view Text,
+                                 const DimacsLimits &Limits = DimacsLimits());
 
 /// Reads and parses a DIMACS file from disk.
-Expected<CnfFormula> parseDimacsFile(const std::string &Path);
+Expected<CnfFormula> parseDimacsFile(const std::string &Path,
+                                     const DimacsLimits &Limits =
+                                         DimacsLimits());
 
 /// Prints \p Formula in DIMACS CNF format.
 std::string printDimacs(const CnfFormula &Formula);

@@ -20,6 +20,7 @@
 #include "support/Status.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace weaver {
 
@@ -31,6 +32,48 @@ public:
 
   bool isCancelled() const {
     return Cancelled.load(std::memory_order_acquire);
+  }
+
+  /// Arms (or tightens) a wall-clock deadline: checkpoints at or after
+  /// \p Deadline cancel the work and record the cause as a deadline hit.
+  /// Multiple callers race benignly — the earliest deadline wins, which
+  /// is what both per-request deadlines and the drain budget want.
+  void setDeadline(std::chrono::steady_clock::time_point Deadline) {
+    int64_t T = Deadline.time_since_epoch().count();
+    int64_t Cur = DeadlineTicks.load(std::memory_order_relaxed);
+    while ((Cur == 0 || T < Cur) &&
+           !DeadlineTicks.compare_exchange_weak(Cur, T,
+                                                std::memory_order_relaxed))
+      ;
+  }
+
+  bool hasDeadline() const {
+    return DeadlineTicks.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True once the armed deadline lies in the past (false when unarmed).
+  bool deadlinePassed() const {
+    int64_t T = DeadlineTicks.load(std::memory_order_relaxed);
+    return T != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= T;
+  }
+
+  /// Latches cancellation if the deadline has passed; returns whether the
+  /// token is now cancelled for any reason. Used by the service to expire
+  /// jobs that sat in the queue past their deadline without consuming a
+  /// cancelAtCheckpoint tick.
+  bool expireIfPastDeadline() const {
+    if (!isCancelled() && deadlinePassed()) {
+      DeadlineHit.store(true, std::memory_order_relaxed);
+      Cancelled.store(true, std::memory_order_release);
+    }
+    return isCancelled();
+  }
+
+  /// True when the cancellation was caused by the deadline (vs an explicit
+  /// requestCancel); meaningful only once isCancelled().
+  bool wasDeadline() const {
+    return DeadlineHit.load(std::memory_order_relaxed);
   }
 
   /// Testing aid: arms the token to self-cancel at the Nth checkpoint
@@ -48,16 +91,24 @@ public:
     int C = Countdown.load(std::memory_order_relaxed);
     if (C > 0 && Countdown.fetch_sub(1, std::memory_order_acq_rel) == 1)
       Cancelled.store(true, std::memory_order_release);
+    expireIfPastDeadline();
     return isCancelled();
   }
 
 private:
   mutable std::atomic<bool> Cancelled{false};
+  mutable std::atomic<bool> DeadlineHit{false};
   mutable std::atomic<int> Countdown{0};
+  mutable std::atomic<int64_t> DeadlineTicks{0}; ///< steady_clock ticks; 0 = none
 };
 
 /// Diagnostic prefix of every Status produced by a cancelled compile.
 inline constexpr const char CancelledDiagnostic[] = "compilation cancelled";
+
+/// Diagnostic of a compile cancelled by its deadline. Starts with
+/// CancelledDiagnostic so isCancelledStatus() keeps matching.
+inline constexpr const char DeadlineDiagnostic[] =
+    "compilation cancelled: deadline exceeded";
 
 /// True when \p S reports a cooperative cancellation (vs a real failure).
 inline bool isCancelledStatus(const Status &S) {

@@ -1,0 +1,191 @@
+//===- support/Socket.cpp - Socket RAII and poll-loop helpers -------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace weaver;
+
+FdHandle &FdHandle::operator=(FdHandle &&O) noexcept {
+  if (this != &O) {
+    reset(O.Fd);
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void FdHandle::reset(int NewFd) {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = NewFd;
+}
+
+Status weaver::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
+    return Status::error(std::string("fcntl(O_NONBLOCK): ") +
+                         std::strerror(errno));
+  return Status::success();
+}
+
+Status weaver::setNoDelay(int Fd) {
+  int One = 1;
+  if (::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One)) < 0)
+    return Status::error(std::string("setsockopt(TCP_NODELAY): ") +
+                         std::strerror(errno));
+  return Status::success();
+}
+
+static Expected<sockaddr_in> makeAddress(const std::string &Host,
+                                         uint16_t Port) {
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return Expected<sockaddr_in>::error("invalid IPv4 address: " + Host);
+  return Addr;
+}
+
+Expected<FdHandle> weaver::tcpListen(const std::string &BindAddress,
+                                     uint16_t Port, int Backlog,
+                                     uint16_t &BoundPort) {
+  Expected<sockaddr_in> Addr = makeAddress(BindAddress, Port);
+  if (!Addr)
+    return Addr.status();
+  FdHandle Fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Fd.valid())
+    return Expected<FdHandle>::error(std::string("socket: ") +
+                                     std::strerror(errno));
+  int One = 1;
+  ::setsockopt(Fd.get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd.get(), reinterpret_cast<const sockaddr *>(&*Addr),
+             sizeof(*Addr)) < 0)
+    return Expected<FdHandle>::error(std::string("bind: ") +
+                                     std::strerror(errno));
+  if (::listen(Fd.get(), Backlog) < 0)
+    return Expected<FdHandle>::error(std::string("listen: ") +
+                                     std::strerror(errno));
+  sockaddr_in Bound = {};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(Fd.get(), reinterpret_cast<sockaddr *>(&Bound), &Len) < 0)
+    return Expected<FdHandle>::error(std::string("getsockname: ") +
+                                     std::strerror(errno));
+  BoundPort = ntohs(Bound.sin_port);
+  if (Status S = setNonBlocking(Fd.get()))
+    return S;
+  return Fd;
+}
+
+Expected<FdHandle> weaver::tcpAccept(int ListenFd) {
+  int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (Fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED)
+      return FdHandle(); // nothing (usable) pending
+    return Expected<FdHandle>::error(std::string("accept: ") +
+                                     std::strerror(errno));
+  }
+  FdHandle H(Fd);
+  if (Status S = setNonBlocking(H.get()))
+    return S;
+  setNoDelay(H.get()); // best-effort
+  return H;
+}
+
+Expected<FdHandle> weaver::tcpConnect(const std::string &Host, uint16_t Port) {
+  Expected<sockaddr_in> Addr = makeAddress(Host, Port);
+  if (!Addr)
+    return Addr.status();
+  FdHandle Fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Fd.valid())
+    return Expected<FdHandle>::error(std::string("socket: ") +
+                                     std::strerror(errno));
+  int Rc;
+  do {
+    Rc = ::connect(Fd.get(), reinterpret_cast<const sockaddr *>(&*Addr),
+                   sizeof(*Addr));
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0)
+    return Expected<FdHandle>::error(std::string("connect: ") +
+                                     std::strerror(errno));
+  if (Status S = setNonBlocking(Fd.get()))
+    return S;
+  setNoDelay(Fd.get()); // best-effort
+  return Fd;
+}
+
+IoResult weaver::readSome(int Fd, void *Buf, size_t Len, size_t &NumRead) {
+  NumRead = 0;
+  ssize_t N;
+  do {
+    N = ::recv(Fd, Buf, Len, 0);
+  } while (N < 0 && errno == EINTR);
+  if (N > 0) {
+    NumRead = static_cast<size_t>(N);
+    return IoResult::Ok;
+  }
+  if (N == 0)
+    return IoResult::Closed;
+  return (errno == EAGAIN || errno == EWOULDBLOCK) ? IoResult::WouldBlock
+                                                   : IoResult::Error;
+}
+
+IoResult weaver::writeSome(int Fd, const void *Buf, size_t Len,
+                           size_t &NumWritten) {
+  NumWritten = 0;
+  ssize_t N;
+  do {
+    N = ::send(Fd, Buf, Len, MSG_NOSIGNAL);
+  } while (N < 0 && errno == EINTR);
+  if (N >= 0) {
+    NumWritten = static_cast<size_t>(N);
+    return IoResult::Ok;
+  }
+  return (errno == EAGAIN || errno == EWOULDBLOCK) ? IoResult::WouldBlock
+                                                   : IoResult::Error;
+}
+
+int weaver::pollOne(int Fd, bool WantWrite, int TimeoutMs) {
+  pollfd P = {};
+  P.fd = Fd;
+  P.events = POLLIN | (WantWrite ? POLLOUT : 0);
+  int Rc;
+  do {
+    Rc = ::poll(&P, 1, TimeoutMs);
+  } while (Rc < 0 && errno == EINTR);
+  return Rc;
+}
+
+Expected<WakePipe> WakePipe::create() {
+  int Fds[2];
+  if (::pipe2(Fds, O_NONBLOCK | O_CLOEXEC) < 0)
+    return Expected<WakePipe>::error(std::string("pipe2: ") +
+                                     std::strerror(errno));
+  return WakePipe(FdHandle(Fds[0]), FdHandle(Fds[1]));
+}
+
+void WakePipe::notify() const {
+  // A full pipe already guarantees a pending wakeup; the dropped write is
+  // intentional coalescing, not a lost notification.
+  char B = 1;
+  ssize_t Rc = ::write(WriteEnd.get(), &B, 1);
+  (void)Rc;
+}
+
+void WakePipe::drain() const {
+  char Buf[256];
+  while (::read(ReadEnd.get(), Buf, sizeof(Buf)) > 0)
+    ;
+}

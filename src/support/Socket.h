@@ -1,0 +1,121 @@
+//===- support/Socket.h - Socket RAII and poll-loop helpers ----*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket layer under src/net/: an owning file-descriptor
+/// handle, TCP listen/connect helpers, non-blocking I/O that folds the
+/// EINTR/EAGAIN noise into three outcomes (progress, would-block, error),
+/// and a self-pipe wakeup so worker threads can rouse a poll loop. All of
+/// it is exception-free and returns Status/Expected like the rest of the
+/// support layer; nothing here knows about frames or the compile service.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_SUPPORT_SOCKET_H
+#define WEAVER_SUPPORT_SOCKET_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace weaver {
+
+/// Owning file descriptor; closes on destruction. Move-only.
+class FdHandle {
+public:
+  FdHandle() = default;
+  explicit FdHandle(int Fd) : Fd(Fd) {}
+  FdHandle(FdHandle &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FdHandle &operator=(FdHandle &&O) noexcept;
+  FdHandle(const FdHandle &) = delete;
+  FdHandle &operator=(const FdHandle &) = delete;
+  ~FdHandle() { reset(); }
+
+  bool valid() const { return Fd >= 0; }
+  int get() const { return Fd; }
+  /// Closes the held descriptor (if any) and adopts \p NewFd.
+  void reset(int NewFd = -1);
+  /// Releases ownership without closing.
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+
+private:
+  int Fd = -1;
+};
+
+/// Outcome of one non-blocking I/O attempt.
+enum class IoResult {
+  Ok,         ///< made progress (bytes transferred, possibly fewer than asked)
+  WouldBlock, ///< EAGAIN/EWOULDBLOCK — retry after the next poll
+  Closed,     ///< orderly EOF (reads only)
+  Error,      ///< connection reset or another hard error
+};
+
+/// Marks \p Fd non-blocking (O_NONBLOCK).
+Status setNonBlocking(int Fd);
+
+/// Disables Nagle's algorithm; request/response frames should not wait
+/// for a coalescing timer.
+Status setNoDelay(int Fd);
+
+/// Creates a non-blocking TCP listen socket bound to \p BindAddress:\p Port
+/// (SO_REUSEADDR set). Port 0 binds an ephemeral port; \p BoundPort
+/// receives the actual port either way.
+Expected<FdHandle> tcpListen(const std::string &BindAddress, uint16_t Port,
+                             int Backlog, uint16_t &BoundPort);
+
+/// Accepts one pending connection from \p ListenFd; the returned socket is
+/// non-blocking. Returns an invalid handle (no error) when nothing is
+/// pending.
+Expected<FdHandle> tcpAccept(int ListenFd);
+
+/// Connects to \p Host:\p Port (blocking connect, then the socket is
+/// switched to non-blocking). One attempt; retry policy belongs to the
+/// caller (see net::Client backoff).
+Expected<FdHandle> tcpConnect(const std::string &Host, uint16_t Port);
+
+/// One non-blocking read. On Ok, \p NumRead holds the byte count (> 0).
+IoResult readSome(int Fd, void *Buf, size_t Len, size_t &NumRead);
+
+/// One non-blocking write (SIGPIPE suppressed via MSG_NOSIGNAL). On Ok,
+/// \p NumWritten holds the byte count (possibly short).
+IoResult writeSome(int Fd, const void *Buf, size_t Len, size_t &NumWritten);
+
+/// poll(2) on a single fd. \p WantWrite adds POLLOUT to the POLLIN
+/// interest set. Returns <0 on error, 0 on timeout, >0 when ready.
+int pollOne(int Fd, bool WantWrite, int TimeoutMs);
+
+/// Self-pipe wakeup for a poll loop: any thread calls notify(), the poll
+/// loop includes fd() in its read set and calls drain() when it fires.
+/// notify() is async-signal-safe (a single write(2)).
+class WakePipe {
+public:
+  /// Creates the pipe; both ends non-blocking and CLOEXEC.
+  static Expected<WakePipe> create();
+
+  WakePipe(WakePipe &&) = default;
+  WakePipe &operator=(WakePipe &&) = default;
+
+  int fd() const { return ReadEnd.get(); }
+  /// Wakes the poll loop; coalesces with pending notifications.
+  void notify() const;
+  /// Empties the pipe after the poll loop observed the wakeup.
+  void drain() const;
+
+private:
+  WakePipe(FdHandle R, FdHandle W)
+      : ReadEnd(std::move(R)), WriteEnd(std::move(W)) {}
+  FdHandle ReadEnd, WriteEnd;
+};
+
+} // namespace weaver
+
+#endif // WEAVER_SUPPORT_SOCKET_H

@@ -6,8 +6,12 @@
 
 #include "support/StringUtils.h"
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace weaver;
@@ -50,6 +54,43 @@ std::string weaver::formatDouble(double Value) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
   return std::string(Buf);
+}
+
+Expected<long long> weaver::parseBoundedInt(std::string_view Tok,
+                                            long long Min, long long Max) {
+  if (Tok.empty())
+    return Expected<long long>::error("empty integer token");
+  long long V = 0;
+  auto R = std::from_chars(Tok.data(), Tok.data() + Tok.size(), V);
+  if (R.ec == std::errc::result_out_of_range)
+    return Expected<long long>::error("integer overflows: '" +
+                                      std::string(Tok) + "'");
+  if (R.ec != std::errc() || R.ptr != Tok.data() + Tok.size())
+    return Expected<long long>::error("invalid integer token: '" +
+                                      std::string(Tok) + "'");
+  if (V < Min || V > Max)
+    return Expected<long long>::error(
+        "integer " + std::to_string(V) + " outside [" + std::to_string(Min) +
+        ", " + std::to_string(Max) + "]");
+  return V;
+}
+
+Expected<double> weaver::parseFiniteDouble(std::string_view Tok) {
+  // strtod instead of from_chars<double>: the latter is missing from older
+  // libstdc++. A bounded copy gives strtod its NUL terminator and caps the
+  // work a hostile token can cause.
+  if (Tok.empty() || Tok.size() > 64)
+    return Expected<double>::error("invalid double token");
+  std::string Buf(Tok);
+  if (Buf.find('\0') != std::string::npos)
+    return Expected<double>::error("NUL byte in double token");
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size() || errno == ERANGE ||
+      !std::isfinite(V))
+    return Expected<double>::error("invalid double token: '" + Buf + "'");
+  return V;
 }
 
 std::string weaver::formatf(const char *Fmt, ...) {

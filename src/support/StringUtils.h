@@ -13,6 +13,8 @@
 #ifndef WEAVER_SUPPORT_STRINGUTILS_H
 #define WEAVER_SUPPORT_STRINGUTILS_H
 
+#include "support/Status.h"
+
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +37,17 @@ std::string formatDouble(double Value);
 
 /// printf-style formatting into a std::string.
 std::string formatf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses \p Tok as a decimal integer and validates [\p Min, \p Max].
+/// Rejects empty tokens, trailing garbage, and overflow — a hostile
+/// "99999999999999999999" is an error, never a silently clamped or
+/// wrapped value. Shared by the net frame codec and the compile_server
+/// line parser so both reject hostile numerics identically.
+Expected<long long> parseBoundedInt(std::string_view Tok, long long Min,
+                                    long long Max);
+
+/// Parses \p Tok as a finite double (no NaN/Inf, no trailing garbage).
+Expected<double> parseFiniteDouble(std::string_view Tok);
 
 } // namespace weaver
 

@@ -19,22 +19,27 @@
 ///
 ///  * Line-protocol mode (--serve): a minimal interactive server on
 ///    stdin/stdout. One command per line:
-///      compile <backend> <nvars> <index> [gamma beta [priority]]
+///      compile <backend> <nvars> <index> [gamma beta [priority [deadline_ms]]]
 ///      file <path> [backend]         (DIMACS instance)
 ///      cancel <jobid>
 ///      stats
 ///      quit                          (EOF also shuts down)
 ///    Completions are reported asynchronously as "done <jobid> ..." lines
-///    from worker callbacks.
+///    from worker callbacks. Lines are parsed by net::parseServeCommand —
+///    the same bounded validation the socket frame codec uses — so
+///    overflowing integers, NUL bytes, missing fields, and oversized
+///    lines are reported errors, never silently defaulted requests.
 ///
 /// With --cache-file PATH, both modes warm-start the service's PassCache
 /// from the snapshot at PATH (if present and valid) and flush it back on
-/// clean exit. In serve mode SIGTERM/SIGINT trigger the same drain +
-/// flush instead of killing the process mid-write.
+/// clean exit. SIGTERM/SIGINT trigger the same drain + flush in BOTH
+/// modes (batch mode cancels the jobs still queued, waits for the rest,
+/// and flushes) instead of killing the process mid-write.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/service/CompileService.h"
+#include "net/Protocol.h"
 #include "sat/Dimacs.h"
 #include "sat/Generator.h"
 #include "support/StringUtils.h"
@@ -46,7 +51,6 @@
 #include <iostream>
 #include <map>
 #include <mutex>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -75,6 +79,35 @@ volatile std::sig_atomic_t TerminateRequested = 0;
 
 void onTerminate(int) { TerminateRequested = 1; }
 
+/// Installs the drain-on-signal handlers. No SA_RESTART: a read blocked
+/// in getline fails with EINTR instead of resuming, so serve mode's
+/// command loop observes the flag promptly.
+void installSignalHandlers() {
+  struct sigaction Sa = {};
+  Sa.sa_handler = onTerminate;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = 0;
+  sigaction(SIGTERM, &Sa, nullptr);
+  sigaction(SIGINT, &Sa, nullptr);
+}
+
+/// The one shutdown path both modes funnel through, signalled or not:
+/// drain the queue (every job resolves), flush the cache file if one is
+/// configured (inside the draining shutdown), and print final stats.
+/// Before this existed, a SIGTERM during batch mode took a non-flush
+/// exit path and the snapshot never hit disk.
+int drainAndExit(CompileService &Service, const DemoConfig &Config,
+                 int ExitCode) {
+  if (TerminateRequested)
+    std::fprintf(stderr, "termination signal: draining %s\n",
+                 Config.CacheFile.empty() ? "queue"
+                                          : "queue and flushing cache file");
+  Service.shutdown(/*Drain=*/true);
+  std::printf("%s", Service.statsTable().render().c_str());
+  std::fflush(stdout);
+  return ExitCode;
+}
+
 /// The mixed sizes of the batched demo — small enough that 100 formulas
 /// finish in seconds, mixed enough that the queue sees uneven job costs.
 constexpr int DemoSizes[] = {20, 50, 75, 100};
@@ -94,6 +127,7 @@ int runBatchDemo(const DemoConfig &Config) {
   Opt.Deduplicate = Config.Dedup;
   Opt.CacheFile = Config.CacheFile;
   CompileService Service(Opt);
+  installSignalHandlers();
 
   // Build the batch: cycle the sizes, fresh instance index per size.
   std::vector<CompileRequest> Batch;
@@ -111,28 +145,42 @@ int runBatchDemo(const DemoConfig &Config) {
   std::vector<CompileService::JobHandle> Handles;
   Handles.reserve(Batch.size());
   for (size_t I = 0; I < Batch.size(); ++I) {
+    if (TerminateRequested)
+      break; // drainAndExit resolves what was already queued
     Handles.push_back(Service.submit(Batch[I]));
     if (Config.CancelEvery > 0 &&
         (I + 1) % static_cast<size_t>(Config.CancelEvery) == 0)
       Handles.back().cancel();
   }
+  // Signal-aware waits: a SIGTERM mid-batch cancels the jobs still
+  // pending (each resolves promptly as cancelled) instead of riding out
+  // the whole batch — and still reaches the flush path below.
   std::vector<JobOutcome> Outcomes;
   Outcomes.reserve(Handles.size());
-  for (CompileService::JobHandle &H : Handles)
-    Outcomes.push_back(H.wait());
+  bool CancelledRest = false;
+  for (CompileService::JobHandle &H : Handles) {
+    JobOutcome Out;
+    while (!H.waitFor(0.2, Out)) {
+      if (TerminateRequested && !CancelledRest) {
+        for (CompileService::JobHandle &Pending : Handles)
+          Pending.cancel();
+        CancelledRest = true;
+      }
+    }
+    Outcomes.push_back(std::move(Out));
+  }
   double Wall = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
 
-  // Per-job rows (first 8 + last) and the aggregate table.
+  // Per-job rows (first 8 + last); the aggregate table prints from the
+  // shared shutdown path.
   std::vector<JobOutcome> Shown(
       Outcomes.begin(),
       Outcomes.begin() + std::min<size_t>(8, Outcomes.size()));
   if (Outcomes.size() > 8)
     Shown.push_back(Outcomes.back());
-  std::printf("%s...\n%s\n",
-              CompileService::outcomeTable(Shown).render().c_str(),
-              Service.statsTable().render().c_str());
+  std::printf("%s...\n", CompileService::outcomeTable(Shown).render().c_str());
 
   size_t Completed = 0, Cancelled = 0;
   for (const JobOutcome &O : Outcomes) {
@@ -161,9 +209,9 @@ int runBatchDemo(const DemoConfig &Config) {
                 Identical, Checked,
                 Identical == Checked ? "" : "  [MISMATCH]");
     if (Identical != Checked)
-      return 1;
+      return drainAndExit(Service, Config, 1);
   }
-  return 0;
+  return drainAndExit(Service, Config, 0);
 }
 
 int runServer(const DemoConfig &Config) {
@@ -173,16 +221,7 @@ int runServer(const DemoConfig &Config) {
   Opt.Deduplicate = Config.Dedup;
   Opt.CacheFile = Config.CacheFile;
   CompileService Service(Opt);
-
-  // Orderly termination on SIGTERM/SIGINT: no SA_RESTART, so the read
-  // blocked in getline below fails with EINTR instead of resuming, the
-  // loop ends, and the draining shutdown persists the cache.
-  struct sigaction Sa = {};
-  Sa.sa_handler = onTerminate;
-  sigemptyset(&Sa.sa_mask);
-  Sa.sa_flags = 0;
-  sigaction(SIGTERM, &Sa, nullptr);
-  sigaction(SIGINT, &Sa, nullptr);
+  installSignalHandlers();
 
   std::mutex OutMutex; // callbacks print from worker threads
   auto Report = [&OutMutex](const JobOutcome &O) {
@@ -202,89 +241,61 @@ int runServer(const DemoConfig &Config) {
   std::map<uint64_t, std::vector<CompileService::JobHandle>> Handles;
   std::string Line;
   while (!TerminateRequested && std::getline(std::cin, Line)) {
-    std::istringstream In(Line);
-    std::string Cmd;
-    In >> Cmd;
-    if (Cmd.empty())
+    if (trim(Line).empty())
       continue;
-    if (Cmd == "quit")
-      break;
-    if (Cmd == "stats") {
+    // Shared validation with the socket frame codec: overflowing ints,
+    // NUL bytes, oversized lines, and missing fields are all rejected
+    // here with a diagnostic, never turned into a defaulted request.
+    Expected<net::ServeCommand> CmdOr = net::parseServeCommand(Line);
+    if (!CmdOr) {
       std::lock_guard<std::mutex> Lock(OutMutex);
-      std::printf("%s", Service.statsTable().render().c_str());
+      std::printf("error: %s\n", CmdOr.message().c_str());
+      std::fflush(stdout);
       continue;
     }
-    if (Cmd == "cancel") {
-      uint64_t Id = 0;
-      In >> Id;
-      auto It = Handles.find(Id);
+    net::ServeCommand Cmd = CmdOr.take();
+    if (Cmd.Act == net::ServeCommand::Action::Quit)
+      break;
+    if (Cmd.Act == net::ServeCommand::Action::Stats) {
+      std::lock_guard<std::mutex> Lock(OutMutex);
+      std::printf("%s", Service.statsTable().render().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (Cmd.Act == net::ServeCommand::Action::Cancel) {
+      auto It = Handles.find(Cmd.CancelId);
       std::lock_guard<std::mutex> Lock(OutMutex);
       if (It == Handles.end()) {
         std::printf("error: unknown job %llu\n",
-                    static_cast<unsigned long long>(Id));
+                    static_cast<unsigned long long>(Cmd.CancelId));
       } else {
         for (CompileService::JobHandle &H : It->second)
           H.cancel();
         std::printf("cancel requested for job %llu\n",
-                    static_cast<unsigned long long>(Id));
+                    static_cast<unsigned long long>(Cmd.CancelId));
       }
+      std::fflush(stdout);
       continue;
     }
 
     CompileRequest R;
-    bool Parsed = false;
-    if (Cmd == "compile") {
-      std::string Backend;
-      int Vars = 0, Index = 0;
-      In >> Backend >> Vars >> Index;
-      if (Vars > 0 && Index > 0) {
-        // Optional trailing fields; a failed extraction would zero the
-        // defaults, so parse into temporaries.
-        double Gamma, Beta;
-        int Priority;
-        if (In >> Gamma)
-          R.Qaoa.Gamma = Gamma;
-        if (In >> Beta)
-          R.Qaoa.Beta = Beta;
-        if (In >> Priority)
-          R.Priority = Priority;
-        Expected<baselines::BackendKind> Kind =
-            baselines::backendKindFromName(Backend);
-        if (!Kind) {
-          std::lock_guard<std::mutex> Lock(OutMutex);
-          std::printf("error: %s\n", Kind.message().c_str());
-          continue;
-        }
-        R.Kind = *Kind;
-        R.Formula = sat::satlibInstance(Vars, Index);
-        Parsed = true;
-      }
-    } else if (Cmd == "file") {
-      std::string Path, Backend;
-      In >> Path >> Backend;
-      auto F = sat::parseDimacsFile(Path.c_str());
+    if (Cmd.Act == net::ServeCommand::Action::Compile) {
+      R.Kind = Cmd.Compile.Kind;
+      R.Formula = sat::satlibInstance(Cmd.Compile.NumVars, Cmd.Compile.Index);
+      R.Qaoa.Gamma = Cmd.Compile.Gamma;
+      R.Qaoa.Beta = Cmd.Compile.Beta;
+      R.Priority = Cmd.Compile.Priority;
+      R.DeadlineSeconds = Cmd.Compile.DeadlineMs / 1000.0;
+    } else { // Action::File
+      auto F = sat::parseDimacsFile(Cmd.Path);
       if (!F) {
         std::lock_guard<std::mutex> Lock(OutMutex);
         std::printf("error: %s\n", F.message().c_str());
+        std::fflush(stdout);
         continue;
       }
-      if (!Backend.empty()) {
-        Expected<baselines::BackendKind> Kind =
-            baselines::backendKindFromName(Backend);
-        if (!Kind) {
-          std::lock_guard<std::mutex> Lock(OutMutex);
-          std::printf("error: %s\n", Kind.message().c_str());
-          continue;
-        }
-        R.Kind = *Kind;
-      }
+      R.Kind = Cmd.FileKind;
       R.Formula = F.take();
-      Parsed = true;
-    }
-    if (!Parsed) {
-      std::lock_guard<std::mutex> Lock(OutMutex);
-      std::printf("error: unrecognised command '%s'\n", Line.c_str());
-      continue;
     }
     CompileService::JobHandle H = Service.submit(std::move(R), Report);
     Handles[H.id()].push_back(H);
@@ -294,15 +305,7 @@ int runServer(const DemoConfig &Config) {
                 H.coalesced() ? " (coalesced)" : "");
     std::fflush(stdout);
   }
-  if (TerminateRequested)
-    std::fprintf(stderr, "termination signal: draining %s\n",
-                 Config.CacheFile.empty()
-                     ? "queue"
-                     : "queue and flushing cache file");
-  Service.shutdown(/*Drain=*/true);
-  std::lock_guard<std::mutex> Lock(OutMutex);
-  std::printf("%s", Service.statsTable().render().c_str());
-  return 0;
+  return drainAndExit(Service, Config, 0);
 }
 
 } // namespace

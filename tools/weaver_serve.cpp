@@ -1,0 +1,134 @@
+//===- tools/weaver_serve.cpp - Networked compile service daemon ----------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Long-running TCP daemon for the compile service: binds net::Server on
+/// a port (0 picks an ephemeral one), prints
+///
+///     listening on <address>:<port>
+///
+/// once ready (tools/load_gen and the subprocess tests parse this line),
+/// and serves the frame protocol until SIGTERM/SIGINT. Termination runs
+/// the graceful drain: stop accepting, GOING_AWAY to clients, finish or
+/// deadline-cancel in-flight jobs inside --drain-budget seconds, flush
+/// every pending result, and persist the --cache-file snapshot.
+///
+///     weaver_serve [--port N] [--bind ADDR] [--threads N] [--queue N]
+///                  [--cache-file PATH] [--drain-budget SECONDS]
+///                  [--max-connections N] [--max-inflight N]
+///                  [--faults SPEC]
+///
+/// --faults (or the WEAVER_FAULTS environment variable) enables the
+/// seeded fault injector, e.g. "seed=7,kill=0.02,partial=0.3,delay=0.2".
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace weaver;
+
+namespace {
+
+volatile std::sig_atomic_t StopFlag = 0;
+void onSignal(int) { StopFlag = 1; }
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  net::ServerOptions Options;
+  Options.StopFlag = &StopFlag;
+  std::string FaultSpec;
+  if (const char *Env = std::getenv("WEAVER_FAULTS"))
+    FaultSpec = Env;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--port")
+      Options.Port = static_cast<uint16_t>(std::atoi(Next()));
+    else if (Arg == "--bind")
+      Options.BindAddress = Next();
+    else if (Arg == "--threads")
+      Options.Service.NumThreads = std::atoi(Next());
+    else if (Arg == "--queue")
+      Options.Service.QueueCapacity =
+          static_cast<size_t>(std::atoll(Next()));
+    else if (Arg == "--cache-file")
+      Options.Service.CacheFile = Next();
+    else if (Arg == "--drain-budget")
+      Options.DrainBudgetSeconds = std::atof(Next());
+    else if (Arg == "--max-connections")
+      Options.MaxConnections = static_cast<size_t>(std::atoll(Next()));
+    else if (Arg == "--max-inflight")
+      Options.MaxInFlightPerConnection =
+          static_cast<size_t>(std::atoll(Next()));
+    else if (Arg == "--faults")
+      FaultSpec = Next();
+    else {
+      std::fprintf(
+          stderr,
+          "usage: weaver_serve [--port N] [--bind ADDR] [--threads N] "
+          "[--queue N] [--cache-file PATH] [--drain-budget SECONDS] "
+          "[--max-connections N] [--max-inflight N] [--faults SPEC]\n");
+      return Arg == "--help" ? 0 : 1;
+    }
+  }
+
+  if (!FaultSpec.empty()) {
+    auto Config = net::parseFaultConfig(FaultSpec);
+    if (!Config) {
+      std::fprintf(stderr, "error: %s\n", Config.message().c_str());
+      return 1;
+    }
+    Options.Faults = *Config;
+    if (Options.Faults.enabled())
+      std::fprintf(stderr, "fault injection enabled: %s\n",
+                   FaultSpec.c_str());
+  }
+
+  struct sigaction Sa = {};
+  Sa.sa_handler = onSignal;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = 0; // no SA_RESTART: poll returns EINTR and sees the flag
+  sigaction(SIGTERM, &Sa, nullptr);
+  sigaction(SIGINT, &Sa, nullptr);
+
+  net::Server Server(Options);
+  if (Status S = Server.start()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", Options.BindAddress.c_str(),
+              static_cast<unsigned>(Server.port()));
+  std::fflush(stdout);
+
+  Status RunStatus = Server.run();
+
+  net::TransportStats T = Server.transportStats();
+  std::printf("drained: accepted=%llu frames_in=%llu results=%llu "
+              "shed=%llu malformed=%llu slow_drops=%llu "
+              "injected_kills=%llu\n",
+              static_cast<unsigned long long>(T.Accepted),
+              static_cast<unsigned long long>(T.FramesIn),
+              static_cast<unsigned long long>(T.ResultsSent),
+              static_cast<unsigned long long>(T.Shed),
+              static_cast<unsigned long long>(T.MalformedFrames),
+              static_cast<unsigned long long>(T.SlowClientDrops),
+              static_cast<unsigned long long>(T.InjectedKills));
+  std::printf("%s", Server.service().statsTable().render().c_str());
+  std::fflush(stdout);
+  if (RunStatus) {
+    std::fprintf(stderr, "error: %s\n", RunStatus.message().c_str());
+    return 1;
+  }
+  return 0;
+}
