@@ -1,0 +1,104 @@
+//===- oq2/Ast.h - OpenQASM 2 abstract syntax tree -------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small AST the OpenQASM 2 parser produces: register declarations,
+/// gate definitions (parameterized macro bodies), and a flat statement
+/// list of gate calls / measurements / barriers. Parameter expressions
+/// are kept as trees and evaluated numerically at lowering time, when
+/// formal gate parameters are bound to call-site values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_AST_H
+#define WEAVER_OQ2_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace weaver {
+namespace oq2 {
+
+/// A parameter expression node. Binary/unary arithmetic over literals,
+/// pi, formal gate parameters, and the unary functions of the OpenQASM 2
+/// spec (sin, cos, tan, exp, ln, sqrt).
+struct Expr {
+  enum class Kind {
+    Number, ///< literal; Value holds it
+    Pi,     ///< the constant pi
+    Param,  ///< formal gate parameter; Name holds it
+    Unary,  ///< -x, or Func(x) with Name in {sin,cos,tan,exp,ln,sqrt}
+    Binary, ///< Lhs Op Rhs with Op in + - * / ^
+  };
+  Kind NodeKind = Kind::Number;
+  double Value = 0;
+  std::string Name; ///< Param name, unary function name, or binary op
+  std::unique_ptr<Expr> Lhs, Rhs;
+  int Line = 0, Col = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A quantum or classical argument: a whole register ("q") or one
+/// element ("q[3]", Index >= 0).
+struct Argument {
+  std::string Reg;
+  long long Index = -1; ///< -1: the whole register
+  int Line = 0, Col = 0;
+};
+
+/// One gate application inside the main body or a gate definition body.
+/// Inside definition bodies the arguments are formal qubit names
+/// (Index == -1) and parameter expressions may reference formal params.
+struct GateCall {
+  std::string Name;
+  std::vector<ExprPtr> Params;
+  std::vector<Argument> Args;
+  bool IsBarrier = false; ///< "barrier" inside a gate body / main body
+  int Line = 0, Col = 0;
+};
+
+/// A register declaration (qreg / creg).
+struct RegDecl {
+  std::string Name;
+  long long Size = 0;
+  int Line = 0, Col = 0;
+};
+
+/// A user (or qelib) gate definition: gate Name(Params) Qubits { Body }.
+/// Bodies may only call natively-known gates or previously-defined ones,
+/// which rules out recursion structurally.
+struct GateDef {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<std::string> Qubits;
+  std::vector<GateCall> Body;
+  bool Opaque = false; ///< declared opaque — callable but not expandable
+  int Line = 0, Col = 0;
+};
+
+/// One top-level statement.
+struct Stmt {
+  enum class Kind { Call, Measure, Barrier };
+  Kind StmtKind = Kind::Call;
+  GateCall Call;                ///< Call and Barrier
+  Argument MeasureSrc, MeasureDst; ///< Measure
+  int Line = 0, Col = 0;
+};
+
+/// A parsed OpenQASM 2 program.
+struct Program {
+  std::vector<RegDecl> Qregs, Cregs;
+  std::vector<GateDef> Gates; ///< in definition order
+  std::vector<Stmt> Body;
+  bool IncludedQelib = false;
+};
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_AST_H

@@ -1,0 +1,34 @@
+//===- oq2/Export.h - Circuit to OpenQASM 2 text export --------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a \c circuit::Circuit as an OpenQASM 2 program the src/oq2
+/// front end re-ingests losslessly: parameters are rendered with 17
+/// significant digits (exact double round-trip), every gate kind maps to
+/// its native mnemonic, and measurements target a creg declared only
+/// when needed. `parseOq2(printOpenQasm2(C))` reproduces C gate-for-gate
+/// — the property the differential tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_EXPORT_H
+#define WEAVER_OQ2_EXPORT_H
+
+#include "circuit/Circuit.h"
+
+#include <string>
+
+namespace weaver {
+namespace oq2 {
+
+/// Renders \p C as a complete OpenQASM 2 program over one qreg `q` (and
+/// one creg `c` sized like the register when the circuit measures).
+std::string printOpenQasm2(const circuit::Circuit &C);
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_EXPORT_H

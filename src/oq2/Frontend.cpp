@@ -1,0 +1,48 @@
+//===- oq2/Frontend.cpp - OpenQASM 2 front-end entry points ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oq2/Frontend.h"
+
+#include <fstream>
+
+using namespace weaver;
+using namespace weaver::oq2;
+
+Expected<circuit::Circuit> oq2::parseOq2(std::string_view Source,
+                                         std::string Name,
+                                         const Oq2Limits &Limits) {
+  Expected<Program> Prog = parseOq2Program(Source, Limits);
+  if (!Prog)
+    return Expected<circuit::Circuit>(Prog.status());
+  return lowerProgram(*Prog, Limits, std::move(Name));
+}
+
+Expected<circuit::Circuit> oq2::parseOq2File(const std::string &Path,
+                                             const Oq2Limits &Limits) {
+  using Result = Expected<circuit::Circuit>;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Result::error(Path + ": cannot open file");
+  std::string Source;
+  // Read at most one byte past the cap so oversize files reject without
+  // ever being fully materialized.
+  Source.resize(Limits.MaxSourceBytes + 1);
+  In.read(Source.data(), static_cast<std::streamsize>(Source.size()));
+  Source.resize(static_cast<size_t>(In.gcount()));
+  if (In.bad())
+    return Result::error(Path + ": read error");
+  if (Source.size() > Limits.MaxSourceBytes)
+    return Result::error(Path + ": file exceeds " +
+                         std::to_string(Limits.MaxSourceBytes) + " bytes");
+  std::string Name = Path;
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name.erase(0, Slash + 1);
+  Expected<circuit::Circuit> C = parseOq2(Source, std::move(Name), Limits);
+  if (!C)
+    return Result::error(Path + ": " + C.message());
+  return C;
+}

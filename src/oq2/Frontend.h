@@ -1,0 +1,41 @@
+//===- oq2/Frontend.h - OpenQASM 2 front-end entry points ------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-call surface of the OpenQASM 2 front end: source text (or a
+/// file) in, a lowered \c circuit::Circuit out. Everything in between —
+/// tokenizing, parsing, the built-in qelib1.inc, gate-definition
+/// expansion — is internal to src/oq2/. All failures are positioned
+/// diagnostics; the file variant prefixes them with the path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_FRONTEND_H
+#define WEAVER_OQ2_FRONTEND_H
+
+#include "oq2/Lower.h"
+
+#include <string>
+
+namespace weaver {
+namespace oq2 {
+
+/// Parses and lowers OpenQASM 2 source text. \p Name becomes the circuit
+/// name (defaults to "oq2").
+Expected<circuit::Circuit> parseOq2(std::string_view Source,
+                                    std::string Name = "oq2",
+                                    const Oq2Limits &Limits = Oq2Limits());
+
+/// Reads \p Path (bounded by Limits.MaxSourceBytes — larger files are
+/// rejected without being slurped) and parses it. Diagnostics are
+/// prefixed "<path>: "; the circuit is named after the file.
+Expected<circuit::Circuit> parseOq2File(const std::string &Path,
+                                        const Oq2Limits &Limits = Oq2Limits());
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_FRONTEND_H

@@ -1,0 +1,68 @@
+//===- oq2/Lexer.h - OpenQASM 2 tokenizer ----------------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the OpenQASM 2 front end (src/oq2/). Unlike the wQASM
+/// lexer (src/qasm/), this one faces fully untrusted input — benchmark
+/// files uploaded to the networked compile service — so every token
+/// carries a line:column position for diagnostics, numeric literals are
+/// parsed through the bounds-checked support routines (overflow and
+/// trailing-garbage shapes are lexer errors, never silently-truncated
+/// values), and NUL bytes or over-long tokens reject immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_LEXER_H
+#define WEAVER_OQ2_LEXER_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weaver {
+namespace oq2 {
+
+/// Token categories of the OpenQASM 2 grammar subset.
+enum class TokenKind {
+  Identifier, ///< gate / register / parameter names, keywords
+  Integer,    ///< non-negative integer literal (register sizes, indices)
+  Real,       ///< floating literal (angles)
+  String,     ///< double-quoted include path
+  Punct,      ///< one of ; , ( ) [ ] { } + - * / ^ and the digraphs -> ==
+  EndOfFile,
+};
+
+/// One token with its 1-based source position.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  double RealValue = 0;      ///< meaningful for Real and Integer
+  long long IntValue = 0;    ///< meaningful for Integer
+  int Line = 1;
+  int Col = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isPunct(std::string_view P) const {
+    return Kind == TokenKind::Punct && Text == P;
+  }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokenKind::Identifier && Text == S;
+  }
+};
+
+/// Tokenizes \p Source. On failure returns a Status whose message is
+/// positioned ("line L, col C: ..."); the caller prepends the file name.
+/// Hostile shapes — NUL bytes, unterminated strings/comments, malformed
+/// or overflowing numerals, tokens longer than 256 bytes — are errors.
+Expected<std::vector<Token>> tokenizeOq2(std::string_view Source);
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_LEXER_H

@@ -1,0 +1,367 @@
+//===- oq2/Lower.cpp - AST to circuit::Circuit lowering -------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oq2/Lower.h"
+
+#include <cmath>
+#include <map>
+
+using namespace weaver;
+using namespace weaver::oq2;
+
+namespace {
+
+struct RegInfo {
+  long long Offset = 0;
+  long long Size = 0;
+};
+
+class Lowering {
+public:
+  Lowering(const Program &Prog, const Oq2Limits &Limits)
+      : Prog(Prog), Limits(Limits) {}
+
+  Expected<circuit::Circuit> run(std::string Name) {
+    long long TotalQubits = 0;
+    for (const RegDecl &R : Prog.Qregs) {
+      Qregs[R.Name] = {TotalQubits, R.Size};
+      TotalQubits += R.Size;
+    }
+    for (const RegDecl &R : Prog.Cregs)
+      Cregs[R.Name] = {0, R.Size};
+    for (const GateDef &D : Prog.Gates)
+      Defs[D.Name] = &D;
+    Out = circuit::Circuit(static_cast<int>(TotalQubits), std::move(Name));
+    for (const Stmt &S : Prog.Body)
+      if (!lowerStmt(S))
+        return Err;
+    return std::move(Out);
+  }
+
+private:
+  const Program &Prog;
+  const Oq2Limits &Limits;
+  std::map<std::string, RegInfo> Qregs, Cregs;
+  std::map<std::string, const GateDef *> Defs;
+  circuit::Circuit Out{0};
+  Status Err;
+
+  bool fail(int Line, int Col, const std::string &Msg) {
+    Err = Status::error("line " + std::to_string(Line) + ", col " +
+                        std::to_string(Col) + ": " + Msg);
+    return false;
+  }
+
+  bool emit(const circuit::Gate &G, int Line, int Col) {
+    if (Out.size() >= Limits.MaxLoweredGates)
+      return fail(Line, Col,
+                  "lowered circuit exceeds " +
+                      std::to_string(Limits.MaxLoweredGates) +
+                      " gates (gate-definition expansion bomb?)");
+    Out.append(G);
+    return true;
+  }
+
+  /// Resolves a quantum argument. Whole-register arguments (Index == -1)
+  /// return the register; indexed ones are range-checked.
+  bool resolveQarg(const Argument &A, RegInfo &Info) {
+    auto It = Qregs.find(A.Reg);
+    if (It == Qregs.end())
+      return fail(A.Line, A.Col,
+                  "unknown quantum register '" + A.Reg + "'");
+    Info = It->second;
+    if (A.Index >= 0) {
+      if (A.Index >= Info.Size)
+        return fail(A.Line, A.Col,
+                    "index " + std::to_string(A.Index) +
+                        " out of range for '" + A.Reg + "[" +
+                        std::to_string(Info.Size) + "]'");
+      Info.Offset += A.Index;
+      Info.Size = -1; // marks "single qubit"
+    }
+    return true;
+  }
+
+  // --- parameter expression evaluation -----------------------------------
+
+  bool evalExpr(const Expr &E, const std::map<std::string, double> &Env,
+                double &Out) {
+    switch (E.NodeKind) {
+    case Expr::Kind::Number:
+      Out = E.Value;
+      return true;
+    case Expr::Kind::Pi:
+      Out = M_PI;
+      return true;
+    case Expr::Kind::Param: {
+      auto It = Env.find(E.Name);
+      if (It == Env.end())
+        return fail(E.Line, E.Col, "unknown parameter '" + E.Name + "'");
+      Out = It->second;
+      return true;
+    }
+    case Expr::Kind::Unary: {
+      double V;
+      if (!evalExpr(*E.Lhs, Env, V))
+        return false;
+      if (E.Name == "-")
+        Out = -V;
+      else if (E.Name == "sin")
+        Out = std::sin(V);
+      else if (E.Name == "cos")
+        Out = std::cos(V);
+      else if (E.Name == "tan")
+        Out = std::tan(V);
+      else if (E.Name == "exp")
+        Out = std::exp(V);
+      else if (E.Name == "ln")
+        Out = std::log(V);
+      else if (E.Name == "sqrt")
+        Out = std::sqrt(V);
+      else
+        return fail(E.Line, E.Col, "unknown function '" + E.Name + "'");
+      break;
+    }
+    case Expr::Kind::Binary: {
+      double L, R;
+      if (!evalExpr(*E.Lhs, Env, L) || !evalExpr(*E.Rhs, Env, R))
+        return false;
+      if (E.Name == "+")
+        Out = L + R;
+      else if (E.Name == "-")
+        Out = L - R;
+      else if (E.Name == "*")
+        Out = L * R;
+      else if (E.Name == "/")
+        Out = L / R;
+      else if (E.Name == "^")
+        Out = std::pow(L, R);
+      else
+        return fail(E.Line, E.Col, "unknown operator '" + E.Name + "'");
+      break;
+    }
+    }
+    if (!std::isfinite(Out))
+      return fail(E.Line, E.Col,
+                  "parameter expression does not evaluate to a finite "
+                  "number");
+    return true;
+  }
+
+  // --- gate application ---------------------------------------------------
+
+  /// Emits one application of gate \p Name on resolved global qubit
+  /// indices with evaluated parameter values. Expands user definitions.
+  bool apply(const std::string &Name, const std::vector<double> &Params,
+             const std::vector<long long> &Qubits, int Line, int Col,
+             int Depth) {
+    if (Depth > Limits.MaxExpansionDepth)
+      return fail(Line, Col, "gate expansion nested deeper than " +
+                                 std::to_string(Limits.MaxExpansionDepth));
+    for (size_t I = 0; I < Qubits.size(); ++I)
+      for (size_t J = I + 1; J < Qubits.size(); ++J)
+        if (Qubits[I] == Qubits[J])
+          return fail(Line, Col,
+                      "duplicate qubit operand q[" +
+                          std::to_string(Qubits[I]) + "] in call to '" +
+                          Name + "'");
+    circuit::GateKind Kind;
+    if (nativeKind(Name, Kind)) {
+      if (Kind == circuit::GateKind::Measure ||
+          Kind == circuit::GateKind::Barrier)
+        return fail(Line, Col,
+                    "'" + Name + "' cannot be called as a gate");
+      if (Params.size() != circuit::gateNumParams(Kind))
+        return fail(Line, Col,
+                    "gate '" + Name + "' takes " +
+                        std::to_string(circuit::gateNumParams(Kind)) +
+                        " parameter(s), got " +
+                        std::to_string(Params.size()));
+      if (Qubits.size() != circuit::gateArity(Kind))
+        return fail(Line, Col,
+                    "gate '" + Name + "' takes " +
+                        std::to_string(circuit::gateArity(Kind)) +
+                        " qubit(s), got " + std::to_string(Qubits.size()));
+      std::array<int, 3> Q = {0, 0, 0};
+      std::array<double, 3> P = {0.0, 0.0, 0.0};
+      for (size_t I = 0; I < Qubits.size(); ++I)
+        Q[I] = static_cast<int>(Qubits[I]);
+      for (size_t I = 0; I < Params.size(); ++I)
+        P[I] = Params[I];
+      return emit(circuit::Gate::fromStorage(Kind, Q, P), Line, Col);
+    }
+    auto It = Defs.find(Name);
+    if (It == Defs.end())
+      return fail(Line, Col, "unknown gate '" + Name + "'");
+    const GateDef &Def = *It->second;
+    if (Def.Opaque)
+      return fail(Line, Col, "cannot lower call to opaque gate '" + Name +
+                                 "' (no definition body)");
+    if (Params.size() != Def.Params.size())
+      return fail(Line, Col,
+                  "gate '" + Name + "' takes " +
+                      std::to_string(Def.Params.size()) +
+                      " parameter(s), got " + std::to_string(Params.size()));
+    if (Qubits.size() != Def.Qubits.size())
+      return fail(Line, Col,
+                  "gate '" + Name + "' takes " +
+                      std::to_string(Def.Qubits.size()) + " qubit(s), got " +
+                      std::to_string(Qubits.size()));
+    std::map<std::string, double> Env;
+    for (size_t I = 0; I < Def.Params.size(); ++I)
+      Env[Def.Params[I]] = Params[I];
+    std::map<std::string, long long> QubitEnv;
+    for (size_t I = 0; I < Def.Qubits.size(); ++I)
+      QubitEnv[Def.Qubits[I]] = Qubits[I];
+    for (const GateCall &Op : Def.Body) {
+      if (Op.IsBarrier)
+        continue; // barriers inside definitions are scheduling hints only
+      std::vector<double> OpParams;
+      OpParams.reserve(Op.Params.size());
+      for (const ExprPtr &E : Op.Params) {
+        double V;
+        if (!evalExpr(*E, Env, V))
+          return false;
+        OpParams.push_back(V);
+      }
+      std::vector<long long> OpQubits;
+      OpQubits.reserve(Op.Args.size());
+      for (const Argument &A : Op.Args) {
+        auto QIt = QubitEnv.find(A.Reg);
+        if (QIt == QubitEnv.end())
+          return fail(A.Line, A.Col,
+                      "unknown qubit '" + A.Reg + "' in body of '" + Name +
+                          "'");
+        OpQubits.push_back(QIt->second);
+      }
+      if (!apply(Op.Name, OpParams, OpQubits, Op.Line, Op.Col, Depth + 1))
+        return false;
+    }
+    return true;
+  }
+
+  /// Maps a call-site gate name to a native GateKind, honoring the
+  /// OpenQASM 2 primitives U and CX.
+  static bool nativeKind(const std::string &Name, circuit::GateKind &Kind) {
+    if (Name == "U") {
+      Kind = circuit::GateKind::U3;
+      return true;
+    }
+    if (Name == "CX") {
+      Kind = circuit::GateKind::CX;
+      return true;
+    }
+    return circuit::parseGateName(Name, Kind);
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  bool lowerStmt(const Stmt &S) {
+    switch (S.StmtKind) {
+    case Stmt::Kind::Barrier: {
+      // Validate operands, then emit the IR's global barrier.
+      for (const Argument &A : S.Call.Args) {
+        RegInfo Info;
+        if (!resolveQarg(A, Info))
+          return false;
+      }
+      return emit(circuit::Gate(circuit::GateKind::Barrier, {}), S.Line,
+                  S.Col);
+    }
+    case Stmt::Kind::Measure:
+      return lowerMeasure(S);
+    case Stmt::Kind::Call:
+      return lowerCall(S.Call);
+    }
+    return fail(S.Line, S.Col, "unhandled statement kind");
+  }
+
+  bool lowerMeasure(const Stmt &S) {
+    RegInfo Src;
+    if (!resolveQarg(S.MeasureSrc, Src))
+      return false;
+    auto CIt = Cregs.find(S.MeasureDst.Reg);
+    if (CIt == Cregs.end())
+      return fail(S.MeasureDst.Line, S.MeasureDst.Col,
+                  "unknown classical register '" + S.MeasureDst.Reg + "'");
+    long long CregSize = CIt->second.Size;
+    bool SrcWhole = Src.Size >= 0;
+    bool DstWhole = S.MeasureDst.Index < 0;
+    if (!DstWhole && S.MeasureDst.Index >= CregSize)
+      return fail(S.MeasureDst.Line, S.MeasureDst.Col,
+                  "index " + std::to_string(S.MeasureDst.Index) +
+                      " out of range for '" + S.MeasureDst.Reg + "[" +
+                      std::to_string(CregSize) + "]'");
+    if (SrcWhole != DstWhole)
+      return fail(S.Line, S.Col,
+                  "measure operands must both be registers or both be "
+                  "single bits");
+    if (SrcWhole && Src.Size != CregSize)
+      return fail(S.Line, S.Col,
+                  "measure register sizes differ (" +
+                      std::to_string(Src.Size) + " vs " +
+                      std::to_string(CregSize) + ")");
+    long long N = SrcWhole ? Src.Size : 1;
+    // The circuit IR keeps no classical wires; the creg operand is
+    // validated above and then dropped.
+    for (long long I = 0; I < N; ++I) {
+      circuit::Gate G(circuit::GateKind::Measure,
+                      {static_cast<int>(Src.Offset + I)});
+      if (!emit(G, S.Line, S.Col))
+        return false;
+    }
+    return true;
+  }
+
+  bool lowerCall(const GateCall &Call) {
+    std::vector<double> Params;
+    Params.reserve(Call.Params.size());
+    std::map<std::string, double> EmptyEnv;
+    for (const ExprPtr &E : Call.Params) {
+      double V;
+      if (!evalExpr(*E, EmptyEnv, V))
+        return false;
+      Params.push_back(V);
+    }
+    std::vector<RegInfo> Args;
+    Args.reserve(Call.Args.size());
+    long long Broadcast = -1;
+    for (const Argument &A : Call.Args) {
+      RegInfo Info;
+      if (!resolveQarg(A, Info))
+        return false;
+      if (Info.Size >= 0) { // whole register
+        if (Broadcast >= 0 && Broadcast != Info.Size)
+          return fail(A.Line, A.Col,
+                      "register size mismatch in broadcast call (" +
+                          std::to_string(Broadcast) + " vs " +
+                          std::to_string(Info.Size) + ")");
+        Broadcast = Info.Size;
+      }
+      Args.push_back(Info);
+    }
+    long long N = Broadcast >= 0 ? Broadcast : 1;
+    for (long long I = 0; I < N; ++I) {
+      std::vector<long long> Qubits;
+      Qubits.reserve(Args.size());
+      for (const RegInfo &Info : Args)
+        Qubits.push_back(Info.Size >= 0 ? Info.Offset + I : Info.Offset);
+      if (!apply(Call.Name, Params, Qubits, Call.Line, Call.Col,
+                 /*Depth=*/0))
+        return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+Expected<circuit::Circuit> oq2::lowerProgram(const Program &Prog,
+                                             const Oq2Limits &Limits,
+                                             std::string Name) {
+  Lowering L(Prog, Limits);
+  return L.run(std::move(Name));
+}

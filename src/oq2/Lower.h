@@ -1,0 +1,40 @@
+//===- oq2/Lower.h - AST to circuit::Circuit lowering ----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed OpenQASM 2 program to the flat circuit IR. Quantum
+/// registers are laid out contiguously in declaration order; whole-register
+/// operands broadcast elementwise (all whole registers in one statement
+/// must agree in size); user gate definitions are expanded recursively
+/// down to native GateKinds with call-site parameter values substituted
+/// into the body expressions. Expansion is bounded by
+/// Oq2Limits::MaxLoweredGates and MaxExpansionDepth so a hostile chain of
+/// definitions cannot blow up memory. Every rejection carries the source
+/// position of the offending statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_LOWER_H
+#define WEAVER_OQ2_LOWER_H
+
+#include "circuit/Circuit.h"
+#include "oq2/Parser.h"
+
+namespace weaver {
+namespace oq2 {
+
+/// Lowers \p Prog into a circuit named \p Name. Fails with a positioned
+/// diagnostic on semantic errors (unknown registers, out-of-range
+/// indices, operand/parameter arity mismatches, duplicate operands,
+/// non-finite parameter values, opaque-gate calls, expansion blowup).
+Expected<circuit::Circuit> lowerProgram(const Program &Prog,
+                                        const Oq2Limits &Limits = Oq2Limits(),
+                                        std::string Name = "");
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_LOWER_H

@@ -1,0 +1,609 @@
+//===- oq2/Parser.cpp - OpenQASM 2 recursive-descent parser ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oq2/Parser.h"
+
+#include "circuit/Gate.h"
+#include "oq2/Lexer.h"
+#include "oq2/Qelib.h"
+
+#include <map>
+
+using namespace weaver;
+using namespace weaver::oq2;
+
+bool oq2::isNativeGateName(std::string_view Name) {
+  // The OpenQASM 2 primitives spell themselves in upper case.
+  if (Name == "U" || Name == "CX")
+    return true;
+  circuit::GateKind Kind;
+  return circuit::parseGateName(Name, Kind);
+}
+
+namespace {
+
+bool isUnaryFunc(std::string_view Name) {
+  return Name == "sin" || Name == "cos" || Name == "tan" || Name == "exp" ||
+         Name == "ln" || Name == "sqrt";
+}
+
+/// Recursive-descent parser over a token stream. All parse methods
+/// return false after recording the first positioned error; callers
+/// propagate immediately, so parsing stops at the first diagnostic.
+class ParserImpl {
+public:
+  ParserImpl(const std::vector<Token> &Toks, const Oq2Limits &Limits,
+             Program &Prog, std::map<std::string, size_t> &GateIndex,
+             bool GateDefsOnly)
+      : Toks(Toks), Limits(Limits), Prog(Prog), GateIndex(GateIndex),
+        GateDefsOnly(GateDefsOnly) {}
+
+  bool run() {
+    if (!GateDefsOnly && !parseHeader())
+      return false;
+    while (!peek().is(TokenKind::EndOfFile))
+      if (!parseStatement())
+        return false;
+    return true;
+  }
+
+  const Status &error() const { return Err; }
+
+private:
+  const std::vector<Token> &Toks;
+  const Oq2Limits &Limits;
+  Program &Prog;
+  std::map<std::string, size_t> &GateIndex;
+  bool GateDefsOnly;
+  size_t Pos = 0;
+  Status Err;
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  const Token &get() {
+    const Token &T = peek();
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+    return T;
+  }
+
+  bool fail(const Token &At, const std::string &Msg) {
+    Err = Status::error("line " + std::to_string(At.Line) + ", col " +
+                        std::to_string(At.Col) + ": " + Msg);
+    return false;
+  }
+
+  bool expectPunct(std::string_view P, const char *Context) {
+    const Token &T = peek();
+    if (!T.isPunct(P))
+      return fail(T, "expected '" + std::string(P) + "' " + Context +
+                         ", got '" + T.Text + "'");
+    get();
+    return true;
+  }
+
+  bool expectIdent(std::string &Out, const char *Context) {
+    const Token &T = peek();
+    if (!T.is(TokenKind::Identifier))
+      return fail(T, std::string("expected identifier ") + Context +
+                         ", got '" + T.Text + "'");
+    Out = get().Text;
+    return true;
+  }
+
+  // --- header and statement dispatch ------------------------------------
+
+  bool parseHeader() {
+    const Token &Kw = peek();
+    if (!Kw.isIdent("OPENQASM"))
+      return fail(Kw, "expected 'OPENQASM 2.0;' header");
+    get();
+    const Token &V = peek();
+    bool VersionOk =
+        (V.is(TokenKind::Real) && V.Text == "2.0") ||
+        (V.is(TokenKind::Integer) && V.IntValue == 2);
+    if (!VersionOk)
+      return fail(V, "unsupported OpenQASM version '" + V.Text +
+                         "' (only 2.0)");
+    get();
+    return expectPunct(";", "after version");
+  }
+
+  bool parseStatement() {
+    if (Prog.Body.size() > Limits.MaxStatements)
+      return fail(peek(), "program exceeds " +
+                              std::to_string(Limits.MaxStatements) +
+                              " statements");
+    const Token &T = peek();
+    if (!T.is(TokenKind::Identifier))
+      return fail(T, "expected statement, got '" + T.Text + "'");
+    if (GateDefsOnly && T.Text != "gate")
+      return fail(T, "only gate definitions are allowed here");
+    if (T.Text == "include")
+      return parseInclude();
+    if (T.Text == "qreg" || T.Text == "creg")
+      return parseRegDecl(T.Text == "qreg");
+    if (T.Text == "gate")
+      return parseGateDef(/*Opaque=*/false);
+    if (T.Text == "opaque")
+      return parseGateDef(/*Opaque=*/true);
+    if (T.Text == "measure")
+      return parseMeasure();
+    if (T.Text == "barrier")
+      return parseBarrier();
+    if (T.Text == "reset")
+      return fail(T, "'reset' is not supported (no reset in the circuit IR)");
+    if (T.Text == "if")
+      return fail(T, "classically-controlled 'if' statements are not "
+                     "supported");
+    return parseTopLevelCall();
+  }
+
+  bool parseInclude() {
+    const Token &Kw = get(); // include
+    const Token &Path = peek();
+    if (!Path.is(TokenKind::String))
+      return fail(Path, "expected include path string");
+    get();
+    if (!expectPunct(";", "after include"))
+      return false;
+    if (Path.Text != "qelib1.inc")
+      return fail(Path, "cannot include '" + Path.Text +
+                            "': only the built-in \"qelib1.inc\" is "
+                            "available (no filesystem access)");
+    if (Prog.IncludedQelib)
+      return true; // idempotent
+    Prog.IncludedQelib = true;
+    Expected<std::vector<Token>> QelibToks = tokenizeOq2(qelibSource());
+    if (!QelibToks)
+      return fail(Kw, "internal qelib1.inc lex error: " +
+                          QelibToks.message());
+    ParserImpl Qelib(*QelibToks, Limits, Prog, GateIndex,
+                     /*GateDefsOnly=*/true);
+    if (!Qelib.run()) {
+      Err = Status::error("internal qelib1.inc parse error: " +
+                          Qelib.error().message());
+      return false;
+    }
+    return true;
+  }
+
+  // --- declarations ------------------------------------------------------
+
+  bool parseRegDecl(bool IsQreg) {
+    const Token &Kw = get(); // qreg / creg
+    RegDecl Decl;
+    Decl.Line = Kw.Line;
+    Decl.Col = Kw.Col;
+    if (!expectIdent(Decl.Name, IsQreg ? "after qreg" : "after creg"))
+      return false;
+    if (findReg(Prog.Qregs, Decl.Name) || findReg(Prog.Cregs, Decl.Name))
+      return fail(Kw, "register '" + Decl.Name + "' redeclared");
+    if (!expectPunct("[", "in register declaration"))
+      return false;
+    const Token &SizeTok = peek();
+    if (!SizeTok.is(TokenKind::Integer))
+      return fail(SizeTok, "expected register size, got '" + SizeTok.Text +
+                               "'");
+    get();
+    Decl.Size = SizeTok.IntValue;
+    if (Decl.Size < 1)
+      return fail(SizeTok, "register size must be at least 1");
+    long long Budget = IsQreg ? Limits.MaxQubits : Limits.MaxCregBits;
+    long long Used = 0;
+    for (const RegDecl &R : IsQreg ? Prog.Qregs : Prog.Cregs)
+      Used += R.Size;
+    if (Decl.Size > Budget - Used)
+      return fail(SizeTok,
+                  (IsQreg ? std::string("qubit") : std::string("creg bit")) +
+                      " budget exceeded: " + std::to_string(Used) + " + " +
+                      std::to_string(Decl.Size) + " > " +
+                      std::to_string(Budget));
+    if (!expectPunct("]", "in register declaration") ||
+        !expectPunct(";", "after register declaration"))
+      return false;
+    (IsQreg ? Prog.Qregs : Prog.Cregs).push_back(std::move(Decl));
+    return true;
+  }
+
+  static bool findReg(const std::vector<RegDecl> &Regs,
+                      const std::string &Name) {
+    for (const RegDecl &R : Regs)
+      if (R.Name == Name)
+        return true;
+    return false;
+  }
+
+  // --- gate definitions ---------------------------------------------------
+
+  bool parseGateDef(bool Opaque) {
+    const Token &Kw = get(); // gate / opaque
+    GateDef Def;
+    Def.Opaque = Opaque;
+    Def.Line = Kw.Line;
+    Def.Col = Kw.Col;
+    if (Prog.Gates.size() >= Limits.MaxGateDefs)
+      return fail(Kw, "too many gate definitions (limit " +
+                          std::to_string(Limits.MaxGateDefs) + ")");
+    if (!expectIdent(Def.Name, "after 'gate'"))
+      return false;
+    if (isNativeGateName(Def.Name))
+      return fail(Kw, "gate '" + Def.Name + "' redefines a built-in gate");
+    if (GateIndex.count(Def.Name))
+      return fail(Kw, "gate '" + Def.Name + "' redefined");
+    if (peek().isPunct("(")) {
+      get();
+      if (!peek().isPunct(")")) {
+        do {
+          std::string P;
+          if (!expectIdent(P, "in gate parameter list"))
+            return false;
+          for (const std::string &Prev : Def.Params)
+            if (Prev == P)
+              return fail(peek(), "duplicate gate parameter '" + P + "'");
+          Def.Params.push_back(std::move(P));
+          if (Def.Params.size() > Limits.MaxGateParams)
+            return fail(Kw, "too many gate parameters");
+        } while (peek().isPunct(",") && (get(), true));
+      }
+      if (!expectPunct(")", "after gate parameters"))
+        return false;
+    }
+    do {
+      std::string Q;
+      if (!expectIdent(Q, "in gate qubit list"))
+        return false;
+      for (const std::string &Prev : Def.Qubits)
+        if (Prev == Q)
+          return fail(peek(), "duplicate gate qubit '" + Q + "'");
+      Def.Qubits.push_back(std::move(Q));
+      if (Def.Qubits.size() > Limits.MaxGateFormals)
+        return fail(Kw, "too many gate qubits");
+    } while (peek().isPunct(",") && (get(), true));
+    if (Opaque) {
+      if (!expectPunct(";", "after opaque declaration"))
+        return false;
+    } else {
+      if (!expectPunct("{", "before gate body"))
+        return false;
+      while (!peek().isPunct("}")) {
+        if (peek().is(TokenKind::EndOfFile))
+          return fail(peek(), "unterminated gate body of '" + Def.Name +
+                                  "'");
+        if (Def.Body.size() >= Limits.MaxGateBodyOps)
+          return fail(peek(), "gate body of '" + Def.Name +
+                                  "' exceeds " +
+                                  std::to_string(Limits.MaxGateBodyOps) +
+                                  " operations");
+        GateCall Op;
+        if (!parseBodyOp(Def, Op))
+          return false;
+        Def.Body.push_back(std::move(Op));
+      }
+      get(); // }
+    }
+    GateIndex[Def.Name] = Prog.Gates.size();
+    Prog.Gates.push_back(std::move(Def));
+    return true;
+  }
+
+  /// One operation inside a gate body: a call over formal qubits, or a
+  /// barrier. Callees must be native or already defined — a gate can
+  /// never reference itself or a later definition, so recursion is
+  /// structurally impossible.
+  bool parseBodyOp(const GateDef &Def, GateCall &Op) {
+    const Token &T = peek();
+    Op.Line = T.Line;
+    Op.Col = T.Col;
+    if (!T.is(TokenKind::Identifier))
+      return fail(T, "expected gate call, got '" + T.Text + "'");
+    if (T.Text == "barrier") {
+      get();
+      Op.IsBarrier = true;
+    } else {
+      Op.Name = get().Text;
+      if (!isNativeGateName(Op.Name) && !GateIndex.count(Op.Name))
+        return fail(T, "undefined gate '" + Op.Name +
+                           "' (gates must be defined before use)");
+      if (peek().isPunct("(")) {
+        get();
+        if (!parseExprList(Op.Params, &Def))
+          return false;
+        if (!expectPunct(")", "after gate call parameters"))
+          return false;
+      }
+    }
+    do {
+      std::string Q;
+      const Token &ArgTok = peek();
+      if (!expectIdent(Q, "in gate body operand list"))
+        return false;
+      bool Known = false;
+      for (const std::string &F : Def.Qubits)
+        Known |= (F == Q);
+      if (!Known)
+        return fail(ArgTok, "unknown qubit '" + Q + "' in body of '" +
+                                Def.Name + "'");
+      for (const Argument &Prev : Op.Args)
+        if (Prev.Reg == Q)
+          return fail(ArgTok, "duplicate operand '" + Q + "'");
+      Argument A;
+      A.Reg = std::move(Q);
+      A.Line = ArgTok.Line;
+      A.Col = ArgTok.Col;
+      Op.Args.push_back(std::move(A));
+    } while (peek().isPunct(",") && (get(), true));
+    return expectPunct(";", "after gate body operation");
+  }
+
+  // --- top-level operations ----------------------------------------------
+
+  bool parseArgument(Argument &A, const char *Context) {
+    const Token &T = peek();
+    A.Line = T.Line;
+    A.Col = T.Col;
+    if (!expectIdent(A.Reg, Context))
+      return false;
+    if (peek().isPunct("[")) {
+      get();
+      const Token &Idx = peek();
+      if (!Idx.is(TokenKind::Integer))
+        return fail(Idx, "expected register index, got '" + Idx.Text + "'");
+      get();
+      A.Index = Idx.IntValue;
+      if (!expectPunct("]", "after register index"))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseTopLevelCall() {
+    Stmt S;
+    const Token &T = peek();
+    S.Line = T.Line;
+    S.Col = T.Col;
+    S.StmtKind = Stmt::Kind::Call;
+    S.Call.Name = get().Text;
+    S.Call.Line = T.Line;
+    S.Call.Col = T.Col;
+    if (!isNativeGateName(S.Call.Name) && !GateIndex.count(S.Call.Name))
+      return fail(T, "unknown gate '" + S.Call.Name + "'");
+    if (peek().isPunct("(")) {
+      get();
+      if (!parseExprList(S.Call.Params, nullptr))
+        return false;
+      if (!expectPunct(")", "after gate parameters"))
+        return false;
+    }
+    do {
+      Argument A;
+      if (!parseArgument(A, "in gate operand list"))
+        return false;
+      S.Call.Args.push_back(std::move(A));
+      if (S.Call.Args.size() > Limits.MaxGateFormals)
+        return fail(T, "too many gate operands");
+    } while (peek().isPunct(",") && (get(), true));
+    if (!expectPunct(";", "after gate call"))
+      return false;
+    Prog.Body.push_back(std::move(S));
+    return true;
+  }
+
+  bool parseMeasure() {
+    Stmt S;
+    const Token &Kw = get(); // measure
+    S.Line = Kw.Line;
+    S.Col = Kw.Col;
+    S.StmtKind = Stmt::Kind::Measure;
+    if (!parseArgument(S.MeasureSrc, "after 'measure'"))
+      return false;
+    if (!expectPunct("->", "in measure statement"))
+      return false;
+    if (!parseArgument(S.MeasureDst, "after '->'"))
+      return false;
+    if (!expectPunct(";", "after measure statement"))
+      return false;
+    Prog.Body.push_back(std::move(S));
+    return true;
+  }
+
+  bool parseBarrier() {
+    Stmt S;
+    const Token &Kw = get(); // barrier
+    S.Line = Kw.Line;
+    S.Col = Kw.Col;
+    S.StmtKind = Stmt::Kind::Barrier;
+    S.Call.IsBarrier = true;
+    do {
+      Argument A;
+      if (!parseArgument(A, "in barrier operand list"))
+        return false;
+      S.Call.Args.push_back(std::move(A));
+    } while (peek().isPunct(",") && (get(), true));
+    if (!expectPunct(";", "after barrier"))
+      return false;
+    Prog.Body.push_back(std::move(S));
+    return true;
+  }
+
+  // --- parameter expressions ---------------------------------------------
+
+  bool parseExprList(std::vector<ExprPtr> &Out, const GateDef *Def) {
+    if (peek().isPunct(")"))
+      return true; // empty list: "()" is accepted like the reference parser
+    do {
+      ExprPtr E;
+      if (!parseExpr(E, Def, 0))
+        return false;
+      Out.push_back(std::move(E));
+      if (Out.size() > Limits.MaxGateParams)
+        return fail(peek(), "too many parameters in gate call");
+    } while (peek().isPunct(",") && (get(), true));
+    return true;
+  }
+
+  bool parseExpr(ExprPtr &Out, const GateDef *Def, int Depth) {
+    if (Depth > Limits.MaxExprDepth)
+      return fail(peek(), "parameter expression too deeply nested");
+    if (!parseMul(Out, Def, Depth + 1))
+      return false;
+    while (peek().isPunct("+") || peek().isPunct("-")) {
+      std::string Op = get().Text;
+      ExprPtr Rhs;
+      if (!parseMul(Rhs, Def, Depth + 1))
+        return false;
+      Out = makeBinary(Op, std::move(Out), std::move(Rhs));
+    }
+    return true;
+  }
+
+  bool parseMul(ExprPtr &Out, const GateDef *Def, int Depth) {
+    if (Depth > Limits.MaxExprDepth)
+      return fail(peek(), "parameter expression too deeply nested");
+    if (!parseUnary(Out, Def, Depth + 1))
+      return false;
+    while (peek().isPunct("*") || peek().isPunct("/")) {
+      std::string Op = get().Text;
+      ExprPtr Rhs;
+      if (!parseUnary(Rhs, Def, Depth + 1))
+        return false;
+      Out = makeBinary(Op, std::move(Out), std::move(Rhs));
+    }
+    return true;
+  }
+
+  bool parseUnary(ExprPtr &Out, const GateDef *Def, int Depth) {
+    if (Depth > Limits.MaxExprDepth)
+      return fail(peek(), "parameter expression too deeply nested");
+    if (peek().isPunct("-")) {
+      const Token &Minus = get();
+      ExprPtr Inner;
+      if (!parseUnary(Inner, Def, Depth + 1))
+        return false;
+      auto E = std::make_unique<Expr>();
+      E->NodeKind = Expr::Kind::Unary;
+      E->Name = "-";
+      E->Lhs = std::move(Inner);
+      E->Line = Minus.Line;
+      E->Col = Minus.Col;
+      Out = std::move(E);
+      return true;
+    }
+    return parsePower(Out, Def, Depth + 1);
+  }
+
+  bool parsePower(ExprPtr &Out, const GateDef *Def, int Depth) {
+    if (Depth > Limits.MaxExprDepth)
+      return fail(peek(), "parameter expression too deeply nested");
+    if (!parsePrimary(Out, Def, Depth + 1))
+      return false;
+    if (peek().isPunct("^")) {
+      get();
+      ExprPtr Rhs;
+      if (!parseUnary(Rhs, Def, Depth + 1)) // right-associative
+        return false;
+      Out = makeBinary("^", std::move(Out), std::move(Rhs));
+    }
+    return true;
+  }
+
+  bool parsePrimary(ExprPtr &Out, const GateDef *Def, int Depth) {
+    const Token &T = peek();
+    if (T.is(TokenKind::Real) || T.is(TokenKind::Integer)) {
+      get();
+      auto E = std::make_unique<Expr>();
+      E->NodeKind = Expr::Kind::Number;
+      E->Value = T.RealValue;
+      E->Line = T.Line;
+      E->Col = T.Col;
+      Out = std::move(E);
+      return true;
+    }
+    if (T.isPunct("(")) {
+      get();
+      if (!parseExpr(Out, Def, Depth + 1))
+        return false;
+      return expectPunct(")", "in parameter expression");
+    }
+    if (T.is(TokenKind::Identifier)) {
+      get();
+      if (T.Text == "pi") {
+        auto E = std::make_unique<Expr>();
+        E->NodeKind = Expr::Kind::Pi;
+        E->Line = T.Line;
+        E->Col = T.Col;
+        Out = std::move(E);
+        return true;
+      }
+      if (isUnaryFunc(T.Text)) {
+        if (!expectPunct("(", "after function name"))
+          return false;
+        ExprPtr Inner;
+        if (!parseExpr(Inner, Def, Depth + 1))
+          return false;
+        if (!expectPunct(")", "after function argument"))
+          return false;
+        auto E = std::make_unique<Expr>();
+        E->NodeKind = Expr::Kind::Unary;
+        E->Name = T.Text;
+        E->Lhs = std::move(Inner);
+        E->Line = T.Line;
+        E->Col = T.Col;
+        Out = std::move(E);
+        return true;
+      }
+      bool KnownParam = false;
+      if (Def)
+        for (const std::string &P : Def->Params)
+          KnownParam |= (P == T.Text);
+      if (!KnownParam)
+        return fail(T, Def ? "unknown parameter '" + T.Text + "'"
+                           : "identifier '" + T.Text +
+                                 "' is not a constant (only 'pi' and "
+                                 "numeric parameters are allowed here)");
+      auto E = std::make_unique<Expr>();
+      E->NodeKind = Expr::Kind::Param;
+      E->Name = T.Text;
+      E->Line = T.Line;
+      E->Col = T.Col;
+      Out = std::move(E);
+      return true;
+    }
+    return fail(T, "expected parameter expression, got '" + T.Text + "'");
+  }
+
+  static ExprPtr makeBinary(std::string Op, ExprPtr Lhs, ExprPtr Rhs) {
+    auto E = std::make_unique<Expr>();
+    E->NodeKind = Expr::Kind::Binary;
+    E->Name = std::move(Op);
+    E->Line = Lhs->Line;
+    E->Col = Lhs->Col;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    return E;
+  }
+};
+
+} // namespace
+
+Expected<Program> oq2::parseOq2Program(std::string_view Source,
+                                       const Oq2Limits &Limits) {
+  if (Source.size() > Limits.MaxSourceBytes)
+    return Expected<Program>::error(
+        "input exceeds " + std::to_string(Limits.MaxSourceBytes) +
+        " bytes (" + std::to_string(Source.size()) + ")");
+  Expected<std::vector<Token>> Toks = tokenizeOq2(Source);
+  if (!Toks)
+    return Expected<Program>::error(Toks.message());
+  Program Prog;
+  std::map<std::string, size_t> GateIndex;
+  ParserImpl P(*Toks, Limits, Prog, GateIndex, /*GateDefsOnly=*/false);
+  if (!P.run())
+    return Expected<Program>(P.error());
+  return Prog;
+}

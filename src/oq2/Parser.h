@@ -1,0 +1,62 @@
+//===- oq2/Parser.h - OpenQASM 2 recursive-descent parser ------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser from the oq2 token stream to the small AST of
+/// Ast.h. The parser enforces the resource limits of \c Oq2Limits while
+/// reading: register sizes, statement counts, definition counts, and
+/// expression nesting are all bounded up front, so a hostile file can
+/// never make the front end allocate unbounded memory before semantic
+/// checks run. Gate bodies may only reference native gates or gates
+/// defined earlier in the file, which rules out recursive definitions
+/// structurally. All diagnostics carry line:column positions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_PARSER_H
+#define WEAVER_OQ2_PARSER_H
+
+#include "oq2/Ast.h"
+#include "support/Status.h"
+
+#include <string_view>
+
+namespace weaver {
+namespace oq2 {
+
+/// Hard ceilings the front end enforces on untrusted input. The defaults
+/// accommodate every published benchmark suite with wide margin while
+/// keeping the worst-case allocation of a hostile file in the tens of
+/// megabytes.
+struct Oq2Limits {
+  size_t MaxSourceBytes = 8u << 20;   ///< input file size
+  long long MaxQubits = 4096;         ///< total across all qregs
+  long long MaxCregBits = 1 << 20;    ///< total classical bits
+  size_t MaxStatements = 1u << 20;    ///< top-level statements
+  size_t MaxGateDefs = 4096;          ///< gate definitions
+  size_t MaxGateBodyOps = 1u << 16;   ///< ops per definition body
+  size_t MaxGateFormals = 64;         ///< formal qubits per definition
+  size_t MaxGateParams = 16;          ///< formal parameters per definition
+  int MaxExprDepth = 64;              ///< parameter expression nesting
+  size_t MaxLoweredGates = 4u << 20;  ///< expansion bomb guard (lowering)
+  int MaxExpansionDepth = 128;        ///< nested definition expansion
+};
+
+/// Parses \p Source into a Program. `include "qelib1.inc";` splices in
+/// the built-in gate library (oq2/Qelib.h); any other include path is an
+/// error. Failure messages are positioned ("line L, col C: ...").
+Expected<Program> parseOq2Program(std::string_view Source,
+                                  const Oq2Limits &Limits = Oq2Limits());
+
+/// Returns true if \p Name resolves to a native circuit::GateKind the
+/// lowering emits directly (including the OpenQASM 2 primitives "U" and
+/// "CX"), without consulting gate definitions.
+bool isNativeGateName(std::string_view Name);
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_PARSER_H

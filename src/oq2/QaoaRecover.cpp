@@ -1,0 +1,246 @@
+//===- oq2/QaoaRecover.cpp - QAOA structure recovery ----------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oq2/QaoaRecover.h"
+
+using namespace weaver;
+using namespace weaver::oq2;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+bool sameGate(const Gate &A, const Gate &B) {
+  if (A.kind() != B.kind())
+    return false;
+  for (unsigned I = 0, E = A.numQubits(); I < E; ++I)
+    if (A.qubit(I) != B.qubit(I))
+      return false;
+  for (unsigned I = 0, E = A.numParams(); I < E; ++I)
+    if (A.param(I) != B.param(I))
+      return false;
+  return true;
+}
+
+/// Returns true if the gates of \p Fragment appear verbatim in \p C
+/// starting at \p Pos.
+bool matchAt(const Circuit &C, size_t Pos, const Circuit &Fragment) {
+  if (Pos + Fragment.size() > C.size())
+    return false;
+  for (size_t I = 0; I < Fragment.size(); ++I)
+    if (!sameGate(C.gate(Pos + I), Fragment.gate(I)))
+      return false;
+  return true;
+}
+
+class Recovery {
+public:
+  explicit Recovery(const Circuit &C) : C(C), N(C.numQubits()) {}
+
+  Expected<RecoveredQaoa> run() {
+    // H prefix over all qubits in order.
+    if (C.size() < static_cast<size_t>(N))
+      return fail("shorter than its Hadamard prefix");
+    for (int Q = 0; Q < N; ++Q) {
+      const Gate &G = C.gate(Q);
+      if (G.kind() != GateKind::H || G.qubit(0) != Q)
+        return fail("gate " + std::to_string(Q) +
+                    " is not the expected prefix h q[" + std::to_string(Q) +
+                    "]");
+    }
+    size_t Pos = N;
+    if (!parseFirstLayer(Pos))
+      return Err;
+    size_t LayerLen = Pos - N;
+    RecoveredQaoa R;
+    R.Params.Layers = 1;
+    R.Params.Gamma = GammaSet ? Gamma : R.Params.Gamma;
+    R.Params.Beta = Beta;
+    if (CompressedSeen && Ladder3Seen)
+      return fail("mixes compressed and ladder 3-clause fragments");
+    R.Params.UseCompressedClauses = CompressedSeen;
+    // Further layers repeat the first layer's gate sequence verbatim
+    // (same formula, same angles every layer).
+    while (LayerLen > 0 && Pos + LayerLen <= C.size()) {
+      bool Repeat = true;
+      for (size_t I = 0; I < LayerLen && Repeat; ++I)
+        Repeat = sameGate(C.gate(Pos + I), C.gate(N + I));
+      if (!Repeat)
+        break;
+      ++R.Params.Layers;
+      Pos += LayerLen;
+    }
+    // Optional trailing measureAll.
+    if (Pos < C.size()) {
+      for (int Q = 0; Q < N; ++Q, ++Pos) {
+        if (Pos >= C.size() || C.gate(Pos).kind() != GateKind::Measure ||
+            C.gate(Pos).qubit(0) != Q)
+          return fail("trailing gates are not a measure-all");
+      }
+      R.Params.Measure = true;
+    }
+    if (Pos != C.size())
+      return fail("trailing gates after the final layer");
+    R.Formula = sat::CnfFormula(N, std::move(Clauses));
+    // Authoritative check: the recovered instance must rebuild the input
+    // exactly. Any greedy slip above is caught here.
+    Circuit Rebuilt = qaoa::buildQaoaCircuit(R.Formula, R.Params);
+    if (Rebuilt.size() != C.size() || !matchAt(C, 0, Rebuilt))
+      return fail("rebuilt circuit differs from input");
+    return R;
+  }
+
+private:
+  const Circuit &C;
+  int N;
+  std::vector<sat::Clause> Clauses;
+  double Gamma = 0;
+  bool GammaSet = false;
+  double Beta = 0;
+  bool CompressedSeen = false;
+  bool Ladder3Seen = false;
+  Status Err;
+
+  Expected<RecoveredQaoa> fail(const std::string &Msg) {
+    return Expected<RecoveredQaoa>::error("not a builder-shaped QAOA "
+                                          "circuit: " +
+                                          Msg);
+  }
+  bool failParse(const std::string &Msg) {
+    Err = Status::error("not a builder-shaped QAOA circuit: " + Msg);
+    return false;
+  }
+
+  /// Matches the mixer rx(2*beta) sweep over all qubits at \p Pos.
+  bool tryMixer(size_t &Pos) {
+    if (Pos + N > C.size())
+      return false;
+    double Theta = 0;
+    for (int Q = 0; Q < N; ++Q) {
+      const Gate &G = C.gate(Pos + Q);
+      if (G.kind() != GateKind::RX || G.qubit(0) != Q)
+        return false;
+      if (Q == 0)
+        Theta = G.param(0);
+      else if (G.param(0) != Theta)
+        return false;
+    }
+    Beta = Theta / 2;
+    Pos += N;
+    return true;
+  }
+
+  bool acceptFragment(size_t &Pos, const sat::Clause &Clause, double G,
+                      bool Compressed) {
+    Circuit Tmp(N);
+    if (Compressed)
+      qaoa::appendClausePhaseCompressed(Tmp, Clause, G);
+    else
+      qaoa::appendClausePhaseLadder(Tmp, Clause, G);
+    if (!matchAt(C, Pos, Tmp))
+      return false;
+    if (GammaSet && G != Gamma)
+      return false;
+    Gamma = G;
+    GammaSet = true;
+    Clauses.push_back(Clause);
+    if (Compressed)
+      CompressedSeen = true;
+    else if (Clause.size() == 3)
+      Ladder3Seen = true;
+    Pos += Tmp.size();
+    return true;
+  }
+
+  static sat::Clause makeClause(const std::vector<int> &Qubits,
+                                const std::vector<int> &PositiveOrder) {
+    std::vector<sat::Literal> Lits;
+    for (int Q : Qubits) {
+      bool Positive = false;
+      for (int P : PositiveOrder)
+        Positive |= (P == Q);
+      Lits.push_back(sat::Literal(Positive ? Q + 1 : -(Q + 1)));
+    }
+    return sat::Clause(std::move(Lits));
+  }
+
+  bool parseFragment(size_t &Pos) {
+    // Leading polarity conjugation: X on each positive-literal qubit, in
+    // clause literal order. At most 3 for a width-3 clause.
+    std::vector<int> Xs;
+    size_t Q = Pos;
+    while (Q < C.size() && C.gate(Q).kind() == GateKind::X && Xs.size() < 3)
+      Xs.push_back(C.gate(Q++).qubit(0));
+    if (Q >= C.size())
+      return failParse("fragment truncated after polarity conjugation");
+    const Gate &Head = C.gate(Q);
+    if (Head.kind() == GateKind::RZ) {
+      // CNOT-ladder form: a run of up to K equal-angle RZ gates leads.
+      double Theta = Head.param(0);
+      std::vector<int> Run{Head.qubit(0)};
+      for (size_t R = Q + 1; R < C.size() && Run.size() < 3; ++R) {
+        const Gate &G = C.gate(R);
+        if (G.kind() != GateKind::RZ || G.param(0) != Theta)
+          break;
+        Run.push_back(G.qubit(0));
+      }
+      // Largest hypothesis first; reconstruct-and-compare arbitrates
+      // (e.g. two adjacent unit clauses masquerading as one K=2 run).
+      for (size_t K = Run.size(); K >= 1; --K) {
+        std::vector<int> Qubits(Run.begin(), Run.begin() + K);
+        if (hasDuplicate(Qubits))
+          continue;
+        double G = K == 1 ? -Theta : K == 2 ? -2 * Theta : -4 * Theta;
+        if (acceptFragment(Pos, makeClause(Qubits, Xs), G,
+                           /*Compressed=*/false))
+          return true;
+      }
+      return failParse("RZ-led fragment at gate " + std::to_string(Pos) +
+                       " matches no clause hypothesis");
+    }
+    if (Head.kind() == GateKind::H && Q + 2 < C.size() &&
+        C.gate(Q + 1).kind() == GateKind::CCZ &&
+        C.gate(Q + 2).kind() == GateKind::RX) {
+      // Compressed form: h(T); ccz(A,B,T); rx(gamma/2, T); ...
+      const Gate &Ccz = C.gate(Q + 1);
+      std::vector<int> Qubits{Ccz.qubit(0), Ccz.qubit(1), Ccz.qubit(2)};
+      double G = 2 * C.gate(Q + 2).param(0);
+      if (!hasDuplicate(Qubits) &&
+          acceptFragment(Pos, makeClause(Qubits, Xs), G,
+                         /*Compressed=*/true))
+        return true;
+      return failParse("CCZ-led fragment at gate " + std::to_string(Pos) +
+                       " matches no clause hypothesis");
+    }
+    return failParse("unrecognised fragment head at gate " +
+                     std::to_string(Pos));
+  }
+
+  static bool hasDuplicate(const std::vector<int> &Qubits) {
+    for (size_t I = 0; I < Qubits.size(); ++I)
+      for (size_t J = I + 1; J < Qubits.size(); ++J)
+        if (Qubits[I] == Qubits[J])
+          return true;
+    return false;
+  }
+
+  bool parseFirstLayer(size_t &Pos) {
+    while (true) {
+      if (tryMixer(Pos))
+        return true;
+      if (!parseFragment(Pos))
+        return false;
+    }
+  }
+};
+
+} // namespace
+
+Expected<RecoveredQaoa> oq2::recoverQaoa(const Circuit &C) {
+  Recovery R(C);
+  return R.run();
+}

@@ -1,0 +1,53 @@
+//===- oq2/QaoaRecover.h - QAOA structure recovery -------------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recovers the MAX-3SAT formula and QAOA hyper-parameters from a flat
+/// circuit that was produced by qaoa::buildQaoaCircuit — including one
+/// that took a detour through OpenQASM 2 text. The Backend registry
+/// compiles (CnfFormula, QaoaParams), not circuits, so this is the bridge
+/// that lets an ingested .qasm file reach every backend unchanged.
+///
+/// The recovery is reconstruct-and-compare: clause fragments are
+/// hypothesised from the gate stream (polarity X-conjugation, the
+/// equal-angle RZ run of the CNOT-ladder form, or the H/CCZ head of the
+/// compressed form), each hypothesis is re-emitted through the builder
+/// and compared gate-for-gate, and the final (Formula, Params) must
+/// rebuild the input circuit exactly. Bit-exact angle recovery works
+/// because builder fragment angles are power-of-two multiples of gamma
+/// (-g/4, -g/2, g/2, ...) — exponent shifts are exact in IEEE doubles,
+/// the same property the PassCache angle patching relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_QAOARECOVER_H
+#define WEAVER_OQ2_QAOARECOVER_H
+
+#include "circuit/Circuit.h"
+#include "qaoa/Builder.h"
+#include "sat/Cnf.h"
+#include "support/Status.h"
+
+namespace weaver {
+namespace oq2 {
+
+/// A recovered QAOA instance: buildQaoaCircuit(Formula, Params)
+/// reproduces the input circuit gate-for-gate.
+struct RecoveredQaoa {
+  sat::CnfFormula Formula;
+  qaoa::QaoaParams Params;
+};
+
+/// Attempts the recovery. Failure is the normal outcome for circuits that
+/// are not builder-shaped QAOA; the message says where the match broke
+/// so callers can decide between the formula path and the
+/// arbitrary-circuit (superconducting) fallback.
+Expected<RecoveredQaoa> recoverQaoa(const circuit::Circuit &C);
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_QAOARECOVER_H

@@ -1,0 +1,34 @@
+//===- oq2/Qelib.cpp - Built-in qelib1.inc gate library -------------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oq2/Qelib.h"
+
+using namespace weaver;
+
+namespace {
+
+/// Definition bodies follow the standard qelib1.inc decompositions; u1 is
+/// phase-exact U(0,0,lambda), not rz, so controlled constructions built
+/// on it (cu1, crz, cu3) keep their textbook unitaries.
+constexpr std::string_view QelibText = R"qelib(
+// weaver-embedded qelib1.inc (native-first subset)
+gate u2(phi,lambda) q { u3(pi/2,phi,lambda) q; }
+gate u1(lambda) q { u3(0,0,lambda) q; }
+gate u0(gamma) q { id q; }
+gate sx a { sdg a; h a; sdg a; }
+gate sxdg a { s a; h a; s a; }
+gate cy a,b { sdg b; cx a,b; s b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate crz(lambda) a,b { u1(lambda/2) b; cx a,b; u1(-lambda/2) b; cx a,b; }
+gate cu1(lambda) a,b { u1(lambda/2) a; cx a,b; u1(-lambda/2) b; cx a,b; u1(lambda/2) b; }
+gate cu3(theta,phi,lambda) c,t { u1((lambda+phi)/2) c; u1((lambda-phi)/2) t; cx c,t; u3(-theta/2,0,-(phi+lambda)/2) t; cx c,t; u3(theta/2,phi,0) t; }
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate rxx(theta) a,b { u3(pi/2,theta,0) a; h b; cx a,b; u1(-theta) b; cx a,b; h b; u2(-pi,pi-theta) a; }
+)qelib";
+
+} // namespace
+
+std::string_view oq2::qelibSource() { return QelibText; }

@@ -1,0 +1,36 @@
+//===- oq2/Qelib.h - Built-in qelib1.inc gate library ----------*- C++ -*-===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedded `qelib1.inc` the parser splices in when a program writes
+/// `include "qelib1.inc";` — no filesystem access is ever performed for
+/// includes, so an untrusted file cannot read paths. The library is
+/// native-first: gate names the circuit IR models directly (h, x, rz,
+/// cx, cz, ccx, ccz, swap, rzz, u3, ...) are NOT defined here — the
+/// lowering emits them as native GateKinds, which keeps oq2-ingested
+/// circuits gate-for-gate identical to programmatically built ones. Only
+/// the qelib gates outside the native set (u1, u2, cy, ch, crz, cu1,
+/// cu3, sx, cswap, rxx, ...) carry definition bodies, written over the
+/// native set following the standard qelib1.inc decompositions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEAVER_OQ2_QELIB_H
+#define WEAVER_OQ2_QELIB_H
+
+#include <string_view>
+
+namespace weaver {
+namespace oq2 {
+
+/// Returns the embedded qelib1.inc source text (parsed by the oq2 parser
+/// itself when included).
+std::string_view qelibSource();
+
+} // namespace oq2
+} // namespace weaver
+
+#endif // WEAVER_OQ2_QELIB_H

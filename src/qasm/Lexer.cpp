@@ -6,9 +6,9 @@
 
 #include "qasm/Lexer.h"
 
+#include "support/StringUtils.h"
+
 #include <cctype>
-#include <charconv>
-#include <cstdlib>
 
 using namespace weaver;
 using namespace weaver::qasm;
@@ -74,7 +74,16 @@ std::vector<Token> qasm::tokenize(std::string_view Source,
                         (Source[I - 1] == 'e' || Source[I - 1] == 'E'))))
         ++I;
       std::string Text(Source.substr(Start, I - Start));
-      Push(TokenKind::Number, Text, std::strtod(Text.c_str(), nullptr));
+      // Bounds-checked, locale-independent parse: the scan above accepts
+      // shapes like "1.2.3" or "1e+" that strtod would silently truncate
+      // to a prefix; they must be lexer errors, as must ERANGE overflow.
+      Expected<double> Value = parseFiniteDouble(Text);
+      if (!Value) {
+        ErrorOut = "line " + std::to_string(Line) +
+                   ": invalid numeric literal '" + Text + "'";
+        return Tokens;
+      }
+      Push(TokenKind::Number, Text, *Value);
       continue;
     }
     if (C == '"') {

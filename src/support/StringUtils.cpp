@@ -87,9 +87,23 @@ Expected<double> weaver::parseFiniteDouble(std::string_view Tok) {
   char *End = nullptr;
   errno = 0;
   double V = std::strtod(Buf.c_str(), &End);
-  if (End != Buf.c_str() + Buf.size() || errno == ERANGE ||
-      !std::isfinite(V))
+  // ERANGE covers both directions; only overflow (to ±HUGE_VAL, caught by
+  // the finiteness test) is hostile. Underflow lands on a representable
+  // denormal or zero and stays accepted.
+  if (End != Buf.c_str() + Buf.size() || !std::isfinite(V))
     return Expected<double>::error("invalid double token: '" + Buf + "'");
+  return V;
+}
+
+Expected<double> weaver::parseDouble(std::string_view Tok, double Min,
+                                     double Max) {
+  Expected<double> V = parseFiniteDouble(Tok);
+  if (!V)
+    return V;
+  if (*V < Min || *V > Max)
+    return Expected<double>::error("value " + formatDouble(*V) +
+                                   " outside [" + formatDouble(Min) + ", " +
+                                   formatDouble(Max) + "]");
   return V;
 }
 

@@ -49,6 +49,19 @@ Expected<long long> parseBoundedInt(std::string_view Tok, long long Min,
 /// Parses \p Tok as a finite double (no NaN/Inf, no trailing garbage).
 Expected<double> parseFiniteDouble(std::string_view Tok);
 
+/// Full-token, range-validated integer parse for untrusted input (argv,
+/// config tokens). Identical contract to parseBoundedInt; the short name
+/// is the one tools are expected to reach for.
+inline Expected<long long> parseInt(std::string_view Tok, long long Min,
+                                    long long Max) {
+  return parseBoundedInt(Tok, Min, Max);
+}
+
+/// Full-token finite-double parse validated against [\p Min, \p Max].
+/// Rejects NaN/Inf, trailing garbage, and out-of-range values — the
+/// double-typed sibling of parseInt for untrusted input.
+Expected<double> parseDouble(std::string_view Tok, double Min, double Max);
+
 } // namespace weaver
 
 #endif // WEAVER_SUPPORT_STRINGUTILS_H

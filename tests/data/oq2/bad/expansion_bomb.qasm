@@ -1,0 +1,43 @@
+OPENQASM 2.0;
+qreg q[1];
+gate g0 a { x a; }
+gate g1 a { g0 a; g0 a; }
+gate g2 a { g1 a; g1 a; }
+gate g3 a { g2 a; g2 a; }
+gate g4 a { g3 a; g3 a; }
+gate g5 a { g4 a; g4 a; }
+gate g6 a { g5 a; g5 a; }
+gate g7 a { g6 a; g6 a; }
+gate g8 a { g7 a; g7 a; }
+gate g9 a { g8 a; g8 a; }
+gate g10 a { g9 a; g9 a; }
+gate g11 a { g10 a; g10 a; }
+gate g12 a { g11 a; g11 a; }
+gate g13 a { g12 a; g12 a; }
+gate g14 a { g13 a; g13 a; }
+gate g15 a { g14 a; g14 a; }
+gate g16 a { g15 a; g15 a; }
+gate g17 a { g16 a; g16 a; }
+gate g18 a { g17 a; g17 a; }
+gate g19 a { g18 a; g18 a; }
+gate g20 a { g19 a; g19 a; }
+gate g21 a { g20 a; g20 a; }
+gate g22 a { g21 a; g21 a; }
+gate g23 a { g22 a; g22 a; }
+gate g24 a { g23 a; g23 a; }
+gate g25 a { g24 a; g24 a; }
+gate g26 a { g25 a; g25 a; }
+gate g27 a { g26 a; g26 a; }
+gate g28 a { g27 a; g27 a; }
+gate g29 a { g28 a; g28 a; }
+gate g30 a { g29 a; g29 a; }
+gate g31 a { g30 a; g30 a; }
+gate g32 a { g31 a; g31 a; }
+gate g33 a { g32 a; g32 a; }
+gate g34 a { g33 a; g33 a; }
+gate g35 a { g34 a; g34 a; }
+gate g36 a { g35 a; g35 a; }
+gate g37 a { g36 a; g36 a; }
+gate g38 a { g37 a; g37 a; }
+gate g39 a { g38 a; g38 a; }
+g39 q[0];

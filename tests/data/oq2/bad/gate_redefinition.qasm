@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[1];
+gate redo(t) a { rz(t) a; }
+gate redo a { x a; }

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[1];
+creg c[1];
+if (c == 1) x q[0];

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[2];
+creg c[3];
+measure q -> c;

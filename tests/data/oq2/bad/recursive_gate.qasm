@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[1];
+gate loop a { loop a; }
+loop q[0];

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[1];
+/* never closed
+h q[0];

@@ -1,0 +1,2 @@
+OPENQASM 2.0;
+include "qelib1.inc

@@ -1,0 +1,2 @@
+OPENQASM 3.0;
+qreg q[1];

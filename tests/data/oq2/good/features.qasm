@@ -1,0 +1,32 @@
+// Exercises the breadth of the supported grammar: user gate definitions
+// with parameter arithmetic, qelib gates, multiple registers, broadcast,
+// barriers, and measurement.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg a[2];
+qreg b[2];
+creg m[2];
+
+gate entangle(theta) x, y {
+  h x;
+  cx x, y;
+  rz(theta / 2) y;
+  cx x, y;
+}
+
+gate layer(t) x, y {
+  entangle(t * 2) x, y;
+  barrier x, y;
+  u2(0, pi) x;
+}
+
+h a;
+x b[0];
+entangle(pi / 4) a[0], b[0];
+layer(-0.25) a[1], b[1];
+cu1(pi / 8) a[0], a[1];
+sx b[1];
+swap a[0], b[0];
+barrier a, b;
+measure a -> m;

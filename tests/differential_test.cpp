@@ -19,6 +19,9 @@
 #include "core/BatchCompiler.h"
 #include "core/WeaverCompiler.h"
 #include "core/service/CompileService.h"
+#include "oq2/Export.h"
+#include "oq2/Frontend.h"
+#include "oq2/QaoaRecover.h"
 #include "sat/Generator.h"
 
 #include <gtest/gtest.h>
@@ -208,5 +211,55 @@ TEST(Differential, BatchCompilerMatchesServiceMetrics) {
     EXPECT_EQ(Out.Metrics.ExecutionSeconds, Batch[I].ExecutionSeconds) << I;
     EXPECT_EQ(Out.Metrics.Eps, Batch[I].Eps) << I;
     EXPECT_EQ(Out.Metrics.Colors, Batch[I].Colors) << I;
+  }
+}
+
+// --- OpenQASM 2 ingest differential --------------------------------------
+
+TEST(Differential, Oq2IngestedCircuitCompilesIdenticallyOnEveryBackend) {
+  // The arbitrary-circuit front door must be invisible to the compilers:
+  // a QAOA instance that detours through OpenQASM 2 text (build ->
+  // export -> parse -> lower -> structure recovery) has to compile to
+  // the same artefact as the programmatically built formula, on every
+  // BackendKind, byte-identically where a program is emitted.
+  for (const sat::CnfFormula &F : smallGrid()) {
+    for (bool Compressed : {false, true}) {
+      SCOPED_TRACE(std::string(Compressed ? "compressed" : "ladder") +
+                   ", " + std::to_string(F.numVariables()) + " vars");
+      qaoa::QaoaParams Qaoa;
+      Qaoa.Layers = 2;
+      Qaoa.UseCompressedClauses = Compressed;
+      circuit::Circuit Built = qaoa::buildQaoaCircuit(F, Qaoa);
+      Expected<circuit::Circuit> Ingested =
+          oq2::parseOq2(oq2::printOpenQasm2(Built));
+      ASSERT_TRUE(Ingested.ok()) << Ingested.message();
+      Expected<oq2::RecoveredQaoa> R = oq2::recoverQaoa(*Ingested);
+      ASSERT_TRUE(R.ok()) << R.message();
+      for (BackendKind Kind : baselines::AllBackendKinds) {
+        SCOPED_TRACE(baselines::backendKindName(Kind));
+        std::unique_ptr<baselines::Backend> B =
+            baselines::createBackend(Kind);
+        baselines::CompileOutput Direct = B->compileFull(F, Qaoa);
+        baselines::CompileOutput ViaQasm =
+            B->compileFull(R->Formula, R->Params);
+        EXPECT_EQ(Direct.Metrics.Pulses, ViaQasm.Metrics.Pulses);
+        EXPECT_EQ(Direct.Metrics.TwoQubitGates,
+                  ViaQasm.Metrics.TwoQubitGates);
+        EXPECT_EQ(Direct.Metrics.ThreeQubitGates,
+                  ViaQasm.Metrics.ThreeQubitGates);
+        EXPECT_EQ(Direct.Metrics.SwapGates, ViaQasm.Metrics.SwapGates);
+        EXPECT_EQ(Direct.Metrics.ExecutionSeconds,
+                  ViaQasm.Metrics.ExecutionSeconds);
+        EXPECT_EQ(Direct.Metrics.Eps, ViaQasm.Metrics.Eps);
+        EXPECT_EQ(Direct.Metrics.Colors, ViaQasm.Metrics.Colors);
+        if (Direct.Wqasm != ViaQasm.Wqasm) {
+          std::string Dir =
+              dumpMismatch("oq2_" + std::string(
+                               baselines::backendKindName(Kind)),
+                           ViaQasm.Wqasm, Direct.Wqasm);
+          FAIL() << "oq2-ingested program differs; dumped to " << Dir;
+        }
+      }
+    }
   }
 }

@@ -52,6 +52,31 @@ TEST(Lexer, LexesFloatsAndExponents) {
   EXPECT_DOUBLE_EQ(Tokens[2].NumberValue, 0.25);
 }
 
+TEST(Lexer, RejectsMalformedNumerals) {
+  // The scanner accepts number-ish character runs that strtod would
+  // silently truncate to a prefix; they must be lexer errors instead.
+  for (const char *Bad : {"1.2.3", "1e", "1e+", "2e--3", "1.5e1e1",
+                          "3..14", "9e999999999999999999"}) {
+    std::string Err;
+    tokenize(std::string("rz(") + Bad + ") q;", Err);
+    EXPECT_FALSE(Err.empty()) << "accepted hostile numeral: " << Bad;
+    EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
+  }
+}
+
+TEST(Lexer, RejectsOverflowingNumerals) {
+  std::string Err;
+  tokenize("1e400", Err); // ERANGE: infinity under strtod
+  EXPECT_FALSE(Err.empty());
+  Err.clear();
+  // Denormal underflow parses to a finite (tiny or zero) value; that is
+  // representable and must stay accepted.
+  auto Tokens = tokenize("1e-400", Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  ASSERT_FALSE(Tokens.empty());
+  EXPECT_GE(Tokens[0].NumberValue, 0.0);
+}
+
 TEST(Lexer, ReportsUnterminatedString) {
   std::string Err;
   tokenize("include \"abc", Err);

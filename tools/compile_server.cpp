@@ -308,6 +308,25 @@ int runServer(const DemoConfig &Config) {
   return drainAndExit(Service, Config, 0);
 }
 
+const char *Usage =
+    "usage: compile_server [--jobs N] [--threads N] "
+    "[--queue N] [--backend NAME] [--cancel-every K] "
+    "[--no-dedup] [--serve] [--cache-file PATH]\n";
+
+/// Parses an argv flag value as a range-checked integer; a malformed or
+/// out-of-range value (negative thread counts, overflow, garbage) is a
+/// hard usage error, never a silent zero.
+long long argInt(const std::string &Flag, const char *Text, long long Min,
+                 long long Max) {
+  Expected<long long> V = parseInt(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "error: %s: %s\n%s", Flag.c_str(),
+                 V.message().c_str(), Usage);
+    std::exit(1);
+  }
+  return *V;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -318,15 +337,18 @@ int main(int Argc, char **Argv) {
       return I + 1 < Argc ? Argv[++I] : "";
     };
     if (Arg == "--jobs")
-      Config.Jobs = std::atoi(Next());
+      Config.Jobs = static_cast<int>(argInt(Arg, Next(), 1, 10000000));
     else if (Arg == "--threads")
-      Config.Threads = std::atoi(Next());
+      // 0 selects hardware concurrency (the ServiceOptions default).
+      Config.Threads = static_cast<int>(argInt(Arg, Next(), 0, 512));
     else if (Arg == "--queue")
-      Config.Queue = static_cast<size_t>(std::atoll(Next()));
+      Config.Queue = static_cast<size_t>(argInt(Arg, Next(), 1, 1048576));
     else if (Arg == "--backend")
       Config.Backend = Next();
     else if (Arg == "--cancel-every")
-      Config.CancelEvery = std::atoi(Next());
+      // 0 disables the demo's periodic cancellation.
+      Config.CancelEvery =
+          static_cast<int>(argInt(Arg, Next(), 0, 10000000));
     else if (Arg == "--no-dedup")
       Config.Dedup = false;
     else if (Arg == "--serve")
@@ -334,10 +356,7 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--cache-file")
       Config.CacheFile = Next();
     else {
-      std::fprintf(stderr,
-                   "usage: compile_server [--jobs N] [--threads N] "
-                   "[--queue N] [--backend NAME] [--cancel-every K] "
-                   "[--no-dedup] [--serve] [--cache-file PATH]\n");
+      std::fprintf(stderr, "%s", Usage);
       return Arg == "--help" ? 0 : 1;
     }
   }

@@ -96,6 +96,25 @@ double percentile(std::vector<double> &Sorted, double P) {
   return Sorted[Idx];
 }
 
+const char *Usage =
+    "usage: load_gen --port N [--host ADDR] "
+    "[--connections N] [--inflight N] [--requests N] "
+    "[--mix 20,50,75] [--deadline-ms N] [--seed N] "
+    "[--verify] [--expect-drain] [--json PATH]\n";
+
+/// Parses an argv flag value as a range-checked integer; a malformed or
+/// out-of-range value is a hard usage error, never a silent zero.
+long long argInt(const std::string &Flag, const char *Text, long long Min,
+                 long long Max) {
+  Expected<long long> V = parseInt(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "error: %s: %s\n%s", Flag.c_str(),
+                 V.message().c_str(), Usage);
+    std::exit(1);
+  }
+  return *V;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -106,25 +125,37 @@ int main(int Argc, char **Argv) {
       return I + 1 < Argc ? Argv[++I] : "";
     };
     if (Arg == "--port")
-      Config.Port = static_cast<uint16_t>(std::atoi(Next()));
+      Config.Port = static_cast<uint16_t>(argInt(Arg, Next(), 1, 65535));
     else if (Arg == "--host")
       Config.Host = Next();
     else if (Arg == "--connections")
-      Config.Connections = static_cast<size_t>(std::atoll(Next()));
+      Config.Connections =
+          static_cast<size_t>(argInt(Arg, Next(), 1, 4096));
     else if (Arg == "--inflight")
-      Config.InFlightPerConnection = static_cast<size_t>(std::atoll(Next()));
+      Config.InFlightPerConnection =
+          static_cast<size_t>(argInt(Arg, Next(), 1, 65536));
     else if (Arg == "--requests")
-      Config.TotalRequests = static_cast<size_t>(std::atoll(Next()));
+      Config.TotalRequests =
+          static_cast<size_t>(argInt(Arg, Next(), 1, 100000000));
     else if (Arg == "--mix") {
+      // A typo'd mix must fail loudly: a silently-zero entry would skew
+      // every latency number the tool exists to measure.
       Config.Mix.clear();
-      for (std::string_view Tok : split(Next(), ','))
-        Config.Mix.push_back(std::atoi(std::string(Tok).c_str()));
-      if (Config.Mix.empty())
-        Config.Mix = {20};
+      std::string MixSpec = Next();
+      for (std::string_view Tok : split(MixSpec, ',', /*KeepEmpty=*/true))
+        Config.Mix.push_back(
+            static_cast<int>(argInt("--mix entry", std::string(Tok).c_str(),
+                                    1, 1000)));
+      if (Config.Mix.empty()) {
+        std::fprintf(stderr, "error: --mix: empty size list\n%s", Usage);
+        return 1;
+      }
     } else if (Arg == "--deadline-ms")
-      Config.DeadlineMs = static_cast<uint32_t>(std::atoi(Next()));
+      Config.DeadlineMs =
+          static_cast<uint32_t>(argInt(Arg, Next(), 0, 3600000));
     else if (Arg == "--seed")
-      Config.Seed = static_cast<uint64_t>(std::atoll(Next()));
+      Config.Seed =
+          static_cast<uint64_t>(argInt(Arg, Next(), 0, (1LL << 62)));
     else if (Arg == "--verify")
       Config.Verify = true;
     else if (Arg == "--expect-drain")
@@ -132,11 +163,7 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--json")
       Config.JsonPath = Next();
     else {
-      std::fprintf(stderr,
-                   "usage: load_gen --port N [--host ADDR] "
-                   "[--connections N] [--inflight N] [--requests N] "
-                   "[--mix 20,50,75] [--deadline-ms N] [--seed N] "
-                   "[--verify] [--expect-drain] [--json PATH]\n");
+      std::fprintf(stderr, "%s", Usage);
       return Arg == "--help" ? 0 : 1;
     }
   }

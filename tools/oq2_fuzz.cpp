@@ -1,0 +1,144 @@
+//===- tools/oq2_fuzz.cpp - OpenQASM 2 front-end fuzz smoke ---------------===//
+//
+// Part of the weaver-cpp reproduction of "Weaver" (CGO 2025). MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fuzz smoke for the oq2 front end, runnable in CI under
+/// the sanitizers: every corpus file must behave as its directory
+/// promises (good/ parses, bad/ rejects with a diagnostic), and N seeded
+/// random byte-mutations of each good file must never crash the
+/// parse -> lower -> recover pipeline — rejecting is fine, dying is not.
+/// Exit status 0 means the contract held.
+///
+//===----------------------------------------------------------------------===//
+
+#include "oq2/Frontend.h"
+#include "oq2/QaoaRecover.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace weaver;
+
+namespace {
+
+const char *Usage =
+    "usage: oq2_fuzz [--corpus DIR] [--mutations N] [--seed S]\n"
+    "  --corpus DIR   corpus root with good/ and bad/ (default: the\n"
+    "                 checked-in tests/data/oq2)\n"
+    "  --mutations N  random byte-mutations per good file (default 200)\n"
+    "  --seed S       PRNG seed (default 1)\n";
+
+long long argInt(const std::string &Flag, const char *Text, long long Min,
+                 long long Max) {
+  Expected<long long> V = parseInt(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "error: %s: %s\n%s", Flag.c_str(),
+                 V.message().c_str(), Usage);
+    std::exit(1);
+  }
+  return *V;
+}
+
+std::vector<std::string> listFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec))
+    if (Entry.is_regular_file())
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+/// Runs the whole front end on one input; the return value only says
+/// whether it was accepted — any outcome other than a crash is in
+/// contract for mutated inputs.
+bool pipelineAccepts(const std::string &Source) {
+  Expected<circuit::Circuit> C = oq2::parseOq2(Source, "fuzz");
+  if (!C)
+    return false;
+  // Recovery and export must also hold up on whatever parsed.
+  (void)oq2::recoverQaoa(*C);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Corpus = std::string(WEAVER_GOLDEN_DIR) + "/oq2";
+  long long Mutations = 200;
+  unsigned long long Seed = 1;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (Arg == "--corpus")
+      Corpus = Next();
+    else if (Arg == "--mutations")
+      Mutations = argInt(Arg, Next(), 0, 1000000);
+    else if (Arg == "--seed")
+      Seed = static_cast<unsigned long long>(
+          argInt(Arg, Next(), 0, (1LL << 62)));
+    else {
+      std::fprintf(stderr, "%s", Usage);
+      return Arg == "--help" ? 0 : 1;
+    }
+  }
+
+  int Failures = 0;
+  size_t GoodCount = 0, BadCount = 0, Mutants = 0, MutantsAccepted = 0;
+
+  for (const std::string &Path : listFiles(Corpus + "/bad")) {
+    Expected<circuit::Circuit> C = oq2::parseOq2File(Path);
+    if (C.ok() || C.message().empty()) {
+      std::fprintf(stderr, "FAIL: hostile file accepted: %s\n", Path.c_str());
+      ++Failures;
+    }
+    ++BadCount;
+  }
+
+  std::mt19937_64 Rng(Seed);
+  for (const std::string &Path : listFiles(Corpus + "/good")) {
+    std::ifstream In(Path, std::ios::binary);
+    std::string Source((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+    if (!pipelineAccepts(Source)) {
+      Expected<circuit::Circuit> C = oq2::parseOq2(Source, Path);
+      std::fprintf(stderr, "FAIL: good file rejected: %s: %s\n", Path.c_str(),
+                   C.message().c_str());
+      ++Failures;
+    }
+    ++GoodCount;
+    if (Source.empty())
+      continue;
+    for (long long M = 0; M < Mutations; ++M) {
+      std::string Mutant = Source;
+      // 1-4 byte flips: close enough to valid that the mutant reaches
+      // deep into parsing and lowering, unlike pure random bytes.
+      int Flips = 1 + static_cast<int>(Rng() % 4);
+      for (int F = 0; F < Flips; ++F)
+        Mutant[Rng() % Mutant.size()] = static_cast<char>(Rng() & 0xff);
+      MutantsAccepted += pipelineAccepts(Mutant) ? 1 : 0;
+      ++Mutants;
+    }
+  }
+
+  std::printf("oq2_fuzz: %zu bad, %zu good, %zu mutants (%zu still valid), "
+              "%d failure(s)\n",
+              BadCount, GoodCount, Mutants, MutantsAccepted, Failures);
+  if (GoodCount == 0 || BadCount == 0) {
+    std::fprintf(stderr, "error: corpus at '%s' is missing good/ or bad/\n",
+                 Corpus.c_str());
+    return 1;
+  }
+  return Failures == 0 ? 0 : 1;
+}

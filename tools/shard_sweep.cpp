@@ -387,6 +387,25 @@ int runSingle(const Config &C) {
   return 0;
 }
 
+const char *Usage =
+    "usage: shard_sweep [--shards N [--shard K]] "
+    "[--cache-file PATH] [--instances N] [--points P] "
+    "[--check] [--expect-warm]\n";
+
+/// Parses an argv flag value as a range-checked integer; a malformed or
+/// out-of-range value (negative shard counts, overflow, garbage) is a
+/// hard usage error, never a silent zero.
+long long argInt(const std::string &Flag, const char *Text, long long Min,
+                 long long Max) {
+  Expected<long long> V = parseInt(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "error: %s: %s\n%s", Flag.c_str(),
+                 V.message().c_str(), Usage);
+    std::exit(1);
+  }
+  return *V;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -397,32 +416,25 @@ int main(int Argc, char **Argv) {
       return I + 1 < Argc ? Argv[++I] : "";
     };
     if (Arg == "--shards")
-      C.Shards = std::atoi(Next());
+      C.Shards = static_cast<int>(argInt(Arg, Next(), 1, 256));
     else if (Arg == "--shard")
-      C.Shard = std::atoi(Next());
+      C.Shard = static_cast<int>(argInt(Arg, Next(), 0, 255));
     else if (Arg == "--rows-out")
       C.RowsOut = Next();
     else if (Arg == "--cache-file")
       C.CacheFile = Next();
     else if (Arg == "--instances")
-      C.Instances = std::atoi(Next());
+      C.Instances = static_cast<int>(argInt(Arg, Next(), 1, 10000));
     else if (Arg == "--points")
-      C.Points = std::atoi(Next());
+      C.Points = static_cast<int>(argInt(Arg, Next(), 1, 10000));
     else if (Arg == "--check")
       C.Check = true;
     else if (Arg == "--expect-warm")
       C.ExpectWarm = true;
     else {
-      std::fprintf(stderr,
-                   "usage: shard_sweep [--shards N [--shard K]] "
-                   "[--cache-file PATH] [--instances N] [--points P] "
-                   "[--check] [--expect-warm]\n");
+      std::fprintf(stderr, "%s", Usage);
       return Arg == "--help" ? 0 : 1;
     }
-  }
-  if (C.Instances < 1 || C.Points < 1 || C.Shards < 0) {
-    std::fprintf(stderr, "error: invalid suite configuration\n");
-    return 1;
   }
   if (C.Shard >= 0) {
     if (C.Shards < 1 || C.Shard >= C.Shards || C.RowsOut.empty()) {

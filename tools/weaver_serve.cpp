@@ -27,6 +27,8 @@
 
 #include "net/Server.h"
 
+#include "support/StringUtils.h"
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +40,36 @@ namespace {
 
 volatile std::sig_atomic_t StopFlag = 0;
 void onSignal(int) { StopFlag = 1; }
+
+const char *Usage =
+    "usage: weaver_serve [--port N] [--bind ADDR] [--threads N] "
+    "[--queue N] [--cache-file PATH] [--drain-budget SECONDS] "
+    "[--max-connections N] [--max-inflight N] [--faults SPEC]\n";
+
+/// Parses an argv flag value as a range-checked integer; a malformed or
+/// out-of-range value is a hard usage error, never a silent zero.
+long long argInt(const std::string &Flag, const char *Text, long long Min,
+                 long long Max) {
+  Expected<long long> V = parseInt(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "error: %s: %s\n%s", Flag.c_str(),
+                 V.message().c_str(), Usage);
+    std::exit(1);
+  }
+  return *V;
+}
+
+/// The double-typed sibling of argInt, for --drain-budget.
+double argDouble(const std::string &Flag, const char *Text, double Min,
+                 double Max) {
+  Expected<double> V = parseDouble(Text, Min, Max);
+  if (!V) {
+    std::fprintf(stderr, "error: %s: %s\n%s", Flag.c_str(),
+                 V.message().c_str(), Usage);
+    std::exit(1);
+  }
+  return *V;
+}
 
 } // namespace
 
@@ -54,31 +86,31 @@ int main(int Argc, char **Argv) {
       return I + 1 < Argc ? Argv[++I] : "";
     };
     if (Arg == "--port")
-      Options.Port = static_cast<uint16_t>(std::atoi(Next()));
+      // 0 binds an ephemeral port (the subprocess tests rely on it).
+      Options.Port = static_cast<uint16_t>(argInt(Arg, Next(), 0, 65535));
     else if (Arg == "--bind")
       Options.BindAddress = Next();
     else if (Arg == "--threads")
-      Options.Service.NumThreads = std::atoi(Next());
+      // 0 selects hardware concurrency (the ServiceOptions default).
+      Options.Service.NumThreads =
+          static_cast<int>(argInt(Arg, Next(), 0, 512));
     else if (Arg == "--queue")
       Options.Service.QueueCapacity =
-          static_cast<size_t>(std::atoll(Next()));
+          static_cast<size_t>(argInt(Arg, Next(), 1, 1048576));
     else if (Arg == "--cache-file")
       Options.Service.CacheFile = Next();
     else if (Arg == "--drain-budget")
-      Options.DrainBudgetSeconds = std::atof(Next());
+      Options.DrainBudgetSeconds = argDouble(Arg, Next(), 0.0, 3600.0);
     else if (Arg == "--max-connections")
-      Options.MaxConnections = static_cast<size_t>(std::atoll(Next()));
+      Options.MaxConnections =
+          static_cast<size_t>(argInt(Arg, Next(), 1, 65536));
     else if (Arg == "--max-inflight")
       Options.MaxInFlightPerConnection =
-          static_cast<size_t>(std::atoll(Next()));
+          static_cast<size_t>(argInt(Arg, Next(), 1, 65536));
     else if (Arg == "--faults")
       FaultSpec = Next();
     else {
-      std::fprintf(
-          stderr,
-          "usage: weaver_serve [--port N] [--bind ADDR] [--threads N] "
-          "[--queue N] [--cache-file PATH] [--drain-budget SECONDS] "
-          "[--max-connections N] [--max-inflight N] [--faults SPEC]\n");
+      std::fprintf(stderr, "%s", Usage);
       return Arg == "--help" ? 0 : 1;
     }
   }
