@@ -217,6 +217,13 @@ public:
   /// \p Output. Fails on the first unreadable/invalid input.
   static Status mergeSnapshots(const std::vector<std::string> &Inputs,
                                const std::string &Output);
+  /// Tolerant variant for crash-recovery paths: when \p Skipped is
+  /// non-null, an unreadable/invalid input is recorded there ("path:
+  /// reason") and skipped instead of failing the merge — its entries
+  /// simply recompute as cold misses on the next run.
+  static Status mergeSnapshots(const std::vector<std::string> &Inputs,
+                               const std::string &Output,
+                               std::vector<std::string> *Skipped);
 
   CacheStats stats() const;
   /// Total entries across both tiers.

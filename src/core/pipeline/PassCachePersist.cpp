@@ -34,6 +34,7 @@
 #include "core/pipeline/PassCache.h"
 
 #include "support/BinaryIO.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -461,6 +462,11 @@ Status PassCache::saveSnapshot(const std::string &Path) const {
 
 Status PassCache::saveSnapshot(const std::string &Path,
                                uint64_t Fingerprint) const {
+  // Simulated crash before any serialization work: the save "fails"
+  // leaving whatever snapshot was previously at Path untouched.
+  if (fault::fire("persist.save.abort"))
+    return Status::error("cannot save " + Path +
+                         ": snapshot save aborted (injected fault)");
   std::lock_guard<std::mutex> Lock(Mutex);
 
   // Deterministic entry order: sort both tiers by key payload.
@@ -565,6 +571,11 @@ Status PassCache::loadSnapshot(const std::string &Path) {
 
 Status PassCache::loadSnapshot(const std::string &Path,
                                uint64_t ExpectFingerprint) {
+  // Simulated unreadable snapshot: same contract as every real reject —
+  // nothing inserted, the caller degrades to cold compiles.
+  if (fault::fire("persist.load.reject"))
+    return Status::error("cache file " + Path +
+                         ": rejected (injected fault)");
   Expected<MappedFile> FileOr = MappedFile::open(Path);
   if (!FileOr)
     return FileOr.status();
@@ -673,10 +684,22 @@ Status PassCache::loadSnapshot(const std::string &Path,
 
 Status PassCache::mergeSnapshots(const std::vector<std::string> &Inputs,
                                  const std::string &Output) {
+  return mergeSnapshots(Inputs, Output, /*Skipped=*/nullptr);
+}
+
+Status PassCache::mergeSnapshots(const std::vector<std::string> &Inputs,
+                                 const std::string &Output,
+                                 std::vector<std::string> *Skipped) {
   PassCache Merged(/*MaxEntries=*/0);
-  for (const std::string &Input : Inputs)
-    if (Status S = Merged.loadSnapshot(Input))
-      return S;
+  for (const std::string &Input : Inputs) {
+    if (Status S = Merged.loadSnapshot(Input)) {
+      if (!Skipped)
+        return S;
+      // Tolerant mode: a bad segment costs its shard's entries (they
+      // recompute as cold misses later), never the whole merge.
+      Skipped->push_back(Input + ": " + S.message());
+    }
+  }
   // Saving a just-loaded cache copies section payloads verbatim, so the
   // merge never materializes a template.
   return Merged.saveSnapshot(Output);

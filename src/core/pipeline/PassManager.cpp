@@ -12,6 +12,8 @@
 #include "core/pipeline/ShuttleSchedulingPass.h"
 #include "core/pipeline/ZonePlanningPass.h"
 
+#include "support/FaultInjection.h"
+
 #include <chrono>
 
 using namespace weaver;
@@ -53,6 +55,14 @@ Status PassManager::run(CompilationContext &Ctx) const {
     // point where aborting cannot leave a half-built section behind. A
     // cancelled run returns before the cache insertions below, so it can
     // never publish partial entries.
+    // Injected hang: park between passes (delay_ms caps the stall) until
+    // the watchdog or a caller cancels the token. The checkpoint below
+    // then converts the wake-up into a normal cooperative abort.
+    if (fault::enabled()) {
+      fault::Decision D = fault::decide("pipeline.hang");
+      if (D.Fire)
+        fault::hangUntilCancelled(D.DelayMs, Ctx.Cancel);
+    }
     if (Ctx.Cancel && Ctx.Cancel->checkpoint())
       return Status::error(std::string(CancelledDiagnostic) + " before " +
                            P->name());

@@ -15,6 +15,7 @@
 
 #include "core/service/CompileService.h"
 
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -79,6 +80,10 @@ struct CompileService::Job {
   std::condition_variable CV;
   JobState State = JobState::Queued;
   bool Started = false;         ///< the worker began the backend compile
+  /// Set under M when the compile starts; the watchdog reads them to
+  /// fill in a timed-out job's timings without racing the worker.
+  std::chrono::steady_clock::time_point StartTime;
+  double QueueSecondsAtStart = 0;
   bool CancelRequested = false; ///< all waiters voted; token is set
   /// Exactly-once guard: the first resolver claims the job, updates the
   /// service counters, and only then publishes Resolved — so by the time
@@ -208,6 +213,7 @@ CompileService::JobKey CompileService::makeKey(const CompileRequest &Request) {
   // Same logic for deadlines: a tight-deadline request must not arm a
   // deadline on a patient waiter's job, nor ride an undeadlined one.
   AddDouble(Request.DeadlineSeconds);
+  AddDouble(Request.WatchdogSeconds);
   // FNV-1a over the payload; lookups still compare the words exactly.
   uint64_t H = 1469598103934665603ull;
   for (uint64_t W : K.Words)
@@ -368,6 +374,8 @@ void CompileService::runJob(const std::shared_ptr<Job> &J) {
     } else {
       J->Started = true;
       J->State = JobState::Running;
+      J->StartTime = std::chrono::steady_clock::now();
+      J->QueueSecondsAtStart = QueueSeconds;
     }
   }
   if (CancelledInQueue) {
@@ -398,6 +406,34 @@ void CompileService::runJob(const std::shared_ptr<Job> &J) {
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Counts.CompilesStarted;
   }
+
+  // The watchdog is armed before the compile (and before any injected
+  // hang) so a job that never returns still resolves.
+  double WatchdogBudget = J->Request.WatchdogSeconds > 0
+                              ? J->Request.WatchdogSeconds
+                              : Options.WatchdogSeconds;
+  if (WatchdogBudget > 0)
+    armWatchdog(J, WatchdogBudget);
+
+  if (fault::enabled()) {
+    // Simulated worker crash: the job dies with no result but the worker
+    // thread itself survives to take the next job — the in-process
+    // analogue of a compile process being killed.
+    if (fault::fire("service.job.crash")) {
+      JobOutcome Out;
+      Out.State = JobState::Failed;
+      Out.Diagnostic = "worker crashed (injected fault)";
+      Out.QueueSeconds = QueueSeconds;
+      resolveJob(J, std::move(Out));
+      return;
+    }
+    // Simulated stuck compile: park until the watchdog (or a client
+    // cancel) trips the token; delay_ms caps the stall when nothing does.
+    fault::Decision Hang = fault::decide("service.job.hang");
+    if (Hang.Fire)
+      fault::hangUntilCancelled(Hang.DelayMs, &J->Cancel);
+  }
+
   const baselines::Backend &B = backendFor(J->Request.Kind);
   auto Start = std::chrono::steady_clock::now();
   baselines::CompileOutput Result =
@@ -457,6 +493,8 @@ bool CompileService::resolveJob(const std::shared_ptr<Job> &J,
       break;
     default:
       ++Counts.Failed;
+      if (J->Outcome.WatchdogTimedOut)
+        ++Counts.WatchdogTimeouts;
       break;
     }
     Counts.TotalQueueSeconds += J->Outcome.QueueSeconds;
@@ -496,6 +534,63 @@ void CompileService::removeFromDedupLocked(const std::shared_ptr<Job> &J) {
       InFlight.erase(It);
   }
   J->InDedupIndex = false;
+}
+
+// --- Watchdog ------------------------------------------------------------
+
+void CompileService::armWatchdog(const std::shared_ptr<Job> &J,
+                                 double Seconds) {
+  auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(Seconds));
+  std::lock_guard<std::mutex> Lock(WatchdogMutex);
+  if (WatchdogStop)
+    return; // tearing down; Pool.shutdown is already reaping the workers
+  WatchdogQueue.emplace_back(Deadline, J);
+  if (!WatchdogThread.joinable())
+    WatchdogThread = std::thread([this]() { watchdogLoop(); });
+  WatchdogCV.notify_all();
+}
+
+void CompileService::watchdogLoop() {
+  std::unique_lock<std::mutex> Lock(WatchdogMutex);
+  while (!WatchdogStop) {
+    if (WatchdogQueue.empty()) {
+      WatchdogCV.wait(Lock);
+      continue;
+    }
+    auto Earliest = std::min_element(
+        WatchdogQueue.begin(), WatchdogQueue.end(),
+        [](const auto &A, const auto &B) { return A.first < B.first; });
+    if (Earliest->first > std::chrono::steady_clock::now()) {
+      WatchdogCV.wait_until(Lock, Earliest->first);
+      continue; // re-scan: the queue (or WatchdogStop) may have changed
+    }
+    std::shared_ptr<Job> J = std::move(Earliest->second);
+    WatchdogQueue.erase(Earliest);
+    Lock.unlock();
+    // Cancel first: a cooperatively hung compile (fault::hangUntilCancelled
+    // or a between-pass checkpoint) observes the token and releases its
+    // worker even though the job below is already resolved.
+    J->Cancel.requestCancel();
+    JobOutcome Out;
+    Out.State = JobState::Failed;
+    Out.WatchdogTimedOut = true;
+    {
+      std::lock_guard<std::mutex> JLock(J->M);
+      Out.QueueSeconds = J->QueueSecondsAtStart;
+      Out.CompileSeconds = secondsSince(J->StartTime);
+    }
+    Out.Diagnostic =
+        formatf("watchdog: compile exceeded its %.3f s budget",
+                J->Request.WatchdogSeconds > 0 ? J->Request.WatchdogSeconds
+                                               : Options.WatchdogSeconds);
+    // A job that resolved while we raced here makes this a no-op — the
+    // exactly-once guarantee is resolveJob's, not ours.
+    resolveJob(J, std::move(Out));
+    Lock.lock();
+  }
 }
 
 // --- Cancellation / shutdown ---------------------------------------------
@@ -581,6 +676,16 @@ void CompileService::shutdown(bool Drain) {
   // every job that had not started. Running jobs finish or abort at their
   // next checkpoint; the pool joins them either way.
   Pool.shutdown(Drain);
+  // Only after the workers are gone may the watchdog die: a hung compile
+  // inside Pool.shutdown needs a live watchdog to be released.
+  {
+    std::lock_guard<std::mutex> Lock(WatchdogMutex);
+    WatchdogStop = true;
+    WatchdogQueue.clear();
+    WatchdogCV.notify_all();
+  }
+  if (WatchdogThread.joinable())
+    WatchdogThread.join();
   // Persist the cache only after a full drain (every worker has exited,
   // so the snapshot is a complete, settled view). A cancelling shutdown
   // skips the flush: the previous snapshot on disk stays valid.
@@ -611,6 +716,7 @@ Table CompileService::statsTable() const {
   T.addRow({"jobs cancelled", std::to_string(S.Cancelled)});
   T.addRow({"  past deadline", std::to_string(S.DeadlineExceeded)});
   T.addRow({"jobs rejected", std::to_string(S.Failed)});
+  T.addRow({"  watchdog timeouts", std::to_string(S.WatchdogTimeouts)});
   T.addRow({"compiles started", std::to_string(S.CompilesStarted)});
   T.addRow({"queue wait mean [ms]",
             formatf("%.3f", Resolved ? S.TotalQueueSeconds / Resolved * 1e3

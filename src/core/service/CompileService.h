@@ -44,12 +44,17 @@
 #include "support/Table.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iterator>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace weaver {
@@ -90,6 +95,14 @@ struct CompileRequest {
   /// disables. This is how tests pin "cancelled between pass K and K+1"
   /// deterministically.
   int CancelAtCheckpoint = 0;
+  /// Per-job watchdog budget in seconds, measured from the moment the
+  /// backend compile starts (queue wait does not count, unlike
+  /// DeadlineSeconds). 0 inherits ServiceOptions::WatchdogSeconds. A
+  /// compile that overruns the budget is resolved Failed by the watchdog
+  /// (exactly once, with WatchdogTimedOut set) and its CancelToken is
+  /// cancelled so a cooperatively hung pipeline releases its worker.
+  /// Part of the dedup identity.
+  double WatchdogSeconds = 0;
 };
 
 /// Everything a resolved job reports.
@@ -113,6 +126,9 @@ struct JobOutcome {
   /// State == Cancelled because the request's deadline expired (not a
   /// client vote or shutdown).
   bool DeadlineExceeded = false;
+  /// State == Failed because the per-job watchdog expired while the
+  /// compile was running (the worker itself survived).
+  bool WatchdogTimedOut = false;
 };
 
 /// CompileService configuration.
@@ -138,6 +154,11 @@ struct ServiceOptions {
   /// restarted server warm-starts from its previous life's templates.
   /// Ignored when caching is off. See pipeline/PassCache.h.
   std::string CacheFile;
+  /// Default per-job watchdog budget in seconds (see
+  /// CompileRequest::WatchdogSeconds); 0 disables the watchdog for jobs
+  /// that do not set their own budget. The watchdog thread starts lazily
+  /// on the first armed job, so an unconfigured service pays nothing.
+  double WatchdogSeconds = 0;
 };
 
 /// Async compilation service; see file comment.
@@ -197,6 +218,9 @@ public:
     /// Cancelled jobs whose cancellation was a deadline expiry (subset of
     /// Cancelled).
     uint64_t DeadlineExceeded = 0;
+    /// Running compiles resolved Failed by the watchdog (subset of
+    /// Failed).
+    uint64_t WatchdogTimeouts = 0;
     uint64_t CompilesStarted = 0; ///< jobs whose backend compile began
     uint64_t FrontTierHits = 0;   ///< compiles served from the front tier
     uint64_t ProgramTierHits = 0; ///< compiles served from a template
@@ -291,6 +315,11 @@ private:
 
   const baselines::Backend &backendFor(baselines::BackendKind Kind) const;
   void runJob(const std::shared_ptr<Job> &J);
+  /// Registers \p J with the watchdog: if it is still unresolved
+  /// \p Seconds from now, the watchdog resolves it Failed and cancels its
+  /// token. Starts the watchdog thread on first use.
+  void armWatchdog(const std::shared_ptr<Job> &J, double Seconds);
+  void watchdogLoop();
   /// Resolves \p J exactly once; later calls are no-ops. Returns whether
   /// this call won the resolution.
   bool resolveJob(const std::shared_ptr<Job> &J, JobOutcome Outcome);
@@ -320,6 +349,18 @@ private:
   /// Every unresolved job by id (dedup on or off) — the shutdown path
   /// cancels through this.
   std::unordered_map<uint64_t, std::shared_ptr<Job>> Live;
+
+  /// Watchdog state, under its own lock (never held together with the
+  /// service mutex or a job mutex). The thread is joined in shutdown()
+  /// only after the pool: a hung worker needs a live watchdog to be
+  /// released.
+  std::mutex WatchdogMutex;
+  std::condition_variable WatchdogCV;
+  bool WatchdogStop = false;
+  std::vector<std::pair<std::chrono::steady_clock::time_point,
+                        std::shared_ptr<Job>>>
+      WatchdogQueue;
+  std::thread WatchdogThread;
 
   WorkerPool Pool; ///< declared last: workers must die before the maps
 };

@@ -11,6 +11,26 @@
 using namespace weaver;
 using namespace weaver::net;
 
+FaultInjector::FaultInjector(const FaultConfig &Config) {
+  if (!Config.enabled())
+    return; // leave Own empty: decisions fall through to the global engine
+  fault::Config EC;
+  EC.Seed = Config.Seed;
+  auto AddSite = [&EC](const char *Pattern, double Prob) {
+    if (Prob <= 0)
+      return;
+    fault::SiteSpec S;
+    S.Pattern = Pattern;
+    S.Probability = Prob;
+    EC.Sites.push_back(std::move(S));
+  };
+  AddSite("net.kill", Config.KillProb);
+  AddSite("net.write.partial", Config.PartialWriteProb);
+  AddSite("net.read.delay", Config.DelayReadProb);
+  AddSite("net.read.truncate", Config.TruncateProb);
+  Own.configure(std::move(EC));
+}
+
 Expected<FaultConfig> net::parseFaultConfig(std::string_view Spec) {
   using EC = Expected<FaultConfig>;
   FaultConfig Config;

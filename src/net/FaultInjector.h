@@ -6,22 +6,34 @@
 ///
 /// \file
 /// Probabilistic transport-fault injection for robustness testing. The
-/// server consults one FaultInjector from its poll loop (single-threaded,
-/// no locking) at well-defined points: after accepting a connection,
-/// before each write, and after each read. Faults are driven by a seeded
-/// Xoshiro256 stream, so a given (seed, request schedule) reproduces the
-/// same kill/truncate decisions — CI runs fixed seeds and asserts the
-/// exact same survivor set every time.
+/// server consults one FaultInjector from its poll loop (single-threaded)
+/// at well-defined points: after accepting a connection, before each
+/// write, and after each read.
 ///
-/// Disabled (the default, all probabilities zero) the injector is a
-/// handful of predictable branches; production builds pay nothing.
+/// The decisions come from the shared support::FaultInjection framework:
+/// each transport fault is a named site on a seeded engine —
+///
+///   net.kill           abruptly close the connection
+///   net.write.partial  truncate one write() to a prefix
+///   net.read.delay     pretend a read returned no data
+///   net.read.truncate  drop a suffix of a read (corrupts framing)
+///
+/// A FaultConfig (the `--faults seed=7,partial=0.3,...` surface the serve
+/// daemon and tests already speak) compiles down to per-site probability
+/// schedules on a private engine, so a given (seed, request schedule)
+/// reproduces the same decisions. When no FaultConfig is set, the
+/// injector falls through to the process-global engine — one WEAVER_FAULTS
+/// seed then drives disk, service, pipeline, and transport faults alike.
+///
+/// Disabled on both paths (the default), the injector costs a couple of
+/// predictable branches; production builds pay nothing.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WEAVER_NET_FAULTINJECTOR_H
 #define WEAVER_NET_FAULTINJECTOR_H
 
-#include "support/Rng.h"
+#include "support/FaultInjection.h"
 #include "support/Status.h"
 
 #include <cstdint>
@@ -60,14 +72,16 @@ struct FaultStats {
 
 class FaultInjector {
 public:
-  explicit FaultInjector(const FaultConfig &Config = FaultConfig())
-      : Config(Config), Rng(Config.Seed) {}
+  explicit FaultInjector(const FaultConfig &Config = FaultConfig());
 
-  bool enabled() const { return Config.enabled(); }
+  /// True when either this injector's own config or the process-global
+  /// fault engine is active (the global path lets one WEAVER_FAULTS spec
+  /// reach the transport without any --faults flag).
+  bool enabled() const { return Own.enabled() || fault::enabled(); }
 
   /// Should this connection be killed right now?
   bool shouldKill() {
-    if (roll(Config.KillProb)) {
+    if (decide("net.kill")) {
       ++Stats.Kills;
       return true;
     }
@@ -77,16 +91,15 @@ public:
   /// Clamps \p WriteLen for one write; returns a strict prefix length
   /// (>= 1 so progress is still made, the slow path not a livelock).
   size_t clampWrite(size_t WriteLen) {
-    if (WriteLen > 1 && roll(Config.PartialWriteProb)) {
+    size_t Kept = clamp("net.write.partial", WriteLen, 1);
+    if (Kept < WriteLen)
       ++Stats.PartialWrites;
-      return 1 + Rng.nextBelow(WriteLen - 1);
-    }
-    return WriteLen;
+    return Kept;
   }
 
   /// Should this read be deferred to a later poll cycle?
   bool shouldDelayRead() {
-    if (roll(Config.DelayReadProb)) {
+    if (decide("net.read.delay")) {
       ++Stats.DelayedReads;
       return true;
     }
@@ -97,22 +110,24 @@ public:
   /// dropped bytes are gone — framing on that connection is corrupt and
   /// the server must detect it (poisoned parser or read-idle timeout).
   size_t clampRead(size_t ReadLen) {
-    if (ReadLen > 0 && roll(Config.TruncateProb)) {
+    size_t Kept = clamp("net.read.truncate", ReadLen, 0);
+    if (Kept < ReadLen)
       ++Stats.TruncatedReads;
-      return Rng.nextBelow(ReadLen);
-    }
-    return ReadLen;
+    return Kept;
   }
 
   const FaultStats &stats() const { return Stats; }
 
 private:
-  bool roll(double Prob) {
-    return Prob > 0 && Rng.nextDouble() < Prob;
+  bool decide(const char *Site) {
+    return Own.enabled() ? Own.decide(Site).Fire : fault::fire(Site);
+  }
+  size_t clamp(const char *Site, size_t Len, size_t Lo) {
+    return Own.enabled() ? Own.clampLen(Site, Len, Lo)
+                         : fault::clampLen(Site, Len, Lo);
   }
 
-  FaultConfig Config;
-  Xoshiro256 Rng;
+  fault::Engine Own; ///< built from the FaultConfig; empty = use global
   FaultStats Stats;
 };
 

@@ -21,6 +21,7 @@
 #include "qasm/Printer.h"
 #include "sat/Generator.h"
 #include "support/BinaryIO.h"
+#include "support/FaultInjection.h"
 
 #include "TestPaths.h"
 
@@ -463,4 +464,129 @@ TEST(BinaryIO, WriterRoundTripsEveryScalar) {
   EXPECT_EQ(R.readString(), "weaver");
   EXPECT_TRUE(R.ok());
   EXPECT_EQ(R.remaining(), 0u);
+}
+
+// --- Fault injection -----------------------------------------------------
+
+namespace {
+/// Guarantees the process-global fault engine is disabled on scope exit,
+/// whatever the test body did (the engine outlives the test otherwise).
+struct FaultGuard {
+  ~FaultGuard() { fault::resetGlobal(); }
+};
+} // namespace
+
+TEST(PassCachePersist, FaultedSavesLeavePreviousSnapshotIntact) {
+  // Every injectable failure on the save path — abort before writing,
+  // open failure, short write (simulated crash mid-write), ENOSPC, fsync
+  // failure, rename failure — must leave the previous snapshot's bytes
+  // untouched and loadable. This is the durability half of the
+  // atomic-save contract.
+  FaultGuard Guard;
+  std::string Path = testTempDir() + "/victim.bin";
+  PassCache Old;
+  populate(Old, testFormula(1));
+  ASSERT_FALSE(Old.saveSnapshot(Path));
+  std::vector<uint8_t> OldBytes = readFileBytes(Path);
+
+  PassCache New;
+  populate(New, testFormula(2)); // different content than the old snapshot
+
+  const char *Sites[] = {"persist.save.abort", "binio.open",
+                         "binio.write.short",  "binio.write.enospc",
+                         "binio.fsync",        "binio.rename"};
+  for (const char *Site : Sites) {
+    ASSERT_FALSE(fault::configureGlobal(std::string("seed=1;") + Site));
+    Status S = New.saveSnapshot(Path);
+    EXPECT_TRUE(static_cast<bool>(S)) << Site << " did not fail the save";
+    fault::resetGlobal();
+
+    EXPECT_EQ(readFileBytes(Path), OldBytes)
+        << Site << " corrupted the previous snapshot";
+    PassCache Check;
+    EXPECT_FALSE(Check.loadSnapshot(Path))
+        << "previous snapshot unreadable after " << Site;
+    EXPECT_EQ(Check.size(), Old.size());
+  }
+
+  // Faults lifted, the save goes through and replaces the file.
+  ASSERT_FALSE(New.saveSnapshot(Path));
+  EXPECT_NE(readFileBytes(Path), OldBytes);
+}
+
+TEST(PassCachePersist, DirFsyncFailureStillLeavesAValidSnapshot) {
+  // binio.dirfsync fires after the rename landed: the save reports an
+  // error (the directory entry may not be durable), but the file itself
+  // is the complete new snapshot — never a torn in-between.
+  FaultGuard Guard;
+  std::string Path = testTempDir() + "/dirsync.bin";
+  PassCache Cache;
+  populate(Cache, testFormula(3));
+
+  ASSERT_FALSE(fault::configureGlobal("seed=1;binio.dirfsync"));
+  EXPECT_TRUE(static_cast<bool>(Cache.saveSnapshot(Path)));
+  fault::resetGlobal();
+
+  PassCache Check;
+  EXPECT_FALSE(Check.loadSnapshot(Path));
+  EXPECT_EQ(Check.size(), Cache.size());
+}
+
+TEST(PassCachePersist, FaultedLoadDegradesToColdCompile) {
+  // A rejected load is a cache miss, not an error state: compilation
+  // proceeds cold and stays byte-identical to the cache-off reference.
+  FaultGuard Guard;
+  std::string Path = testTempDir() + "/cold.bin";
+  CnfFormula F = testFormula(4);
+  std::string Ref = compileToText(F, sweepPoint(0.7, 0.3, nullptr));
+
+  PassCache Writer;
+  populate(Writer, F);
+  ASSERT_FALSE(Writer.saveSnapshot(Path));
+
+  ASSERT_FALSE(fault::configureGlobal("seed=1;persist.load.reject"));
+  PassCache Reader;
+  EXPECT_TRUE(static_cast<bool>(Reader.loadSnapshot(Path)));
+  EXPECT_EQ(Reader.size(), 0u) << "rejected load must leave the cache cold";
+  fault::resetGlobal();
+
+  EXPECT_EQ(compileToText(F, sweepPoint(0.7, 0.3, &Reader)), Ref);
+  EXPECT_GT(Reader.stats().ProgramMisses, 0u) << "compile ran cold";
+}
+
+TEST(PassCachePersist, TolerantMergeSkipsFaultRejectedSegment) {
+  // The crash-recovery merge: one segment rejected (here by injection,
+  // in production by a crash mid-write), the other good. The tolerant
+  // overload records the loss and still merges the survivors.
+  FaultGuard Guard;
+  std::string DirPath = testTempDir();
+  PassCache A, B;
+  populate(A, testFormula(5));
+  populate(B, testFormula(6));
+  ASSERT_FALSE(A.saveSnapshot(DirPath + "/a.shard"));
+  ASSERT_FALSE(B.saveSnapshot(DirPath + "/b.shard"));
+
+  // count=1: exactly the first segment load is rejected.
+  ASSERT_FALSE(
+      fault::configureGlobal("seed=1;persist.load.reject:count=1"));
+  std::vector<std::string> Skipped;
+  Status S = PassCache::mergeSnapshots(
+      {DirPath + "/a.shard", DirPath + "/b.shard"}, DirPath + "/merged.bin",
+      &Skipped);
+  fault::resetGlobal();
+  EXPECT_FALSE(static_cast<bool>(S)) << S.message();
+  ASSERT_EQ(Skipped.size(), 1u);
+  EXPECT_NE(Skipped[0].find("a.shard"), std::string::npos);
+
+  PassCache Merged;
+  ASSERT_FALSE(Merged.loadSnapshot(DirPath + "/merged.bin"));
+  EXPECT_EQ(Merged.size(), B.size()) << "survivor segment must be kept";
+
+  // The strict overload refuses instead — callers that need every
+  // segment still get the hard error.
+  ASSERT_FALSE(
+      fault::configureGlobal("seed=1;persist.load.reject:count=1"));
+  EXPECT_TRUE(static_cast<bool>(PassCache::mergeSnapshots(
+      {DirPath + "/a.shard", DirPath + "/b.shard"},
+      DirPath + "/strict.bin")));
 }

@@ -19,6 +19,8 @@
 #include "core/WorkerPool.h"
 #include "core/service/CompileService.h"
 #include "sat/Generator.h"
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
 
@@ -462,4 +464,150 @@ TEST(CompileService, StatsAndTablesReflectOutcomes) {
   EXPECT_NE(PerJob.find("completed"), std::string::npos);
   EXPECT_NE(PerJob.find("program"), std::string::npos);
   EXPECT_NE(PerJob.find("weaver"), std::string::npos);
+}
+
+// --- Watchdog and fault injection ----------------------------------------
+
+namespace {
+/// Guarantees the process-global fault engine is disabled on scope exit,
+/// whatever the test body did (the engine outlives the test otherwise).
+struct FaultGuard {
+  ~FaultGuard() { fault::resetGlobal(); }
+};
+} // namespace
+
+TEST(CompileService, WatchdogRescuesHungJobExactlyOnce) {
+  // An injected hang (a worker stuck mid-job for far longer than the
+  // budget) resolves Failed exactly once with the watchdog diagnostic —
+  // and the worker thread survives to complete the next job.
+  FaultGuard Guard;
+  ServiceOptions Opt;
+  Opt.NumThreads = 1;
+  CompileService Service(Opt);
+
+  ASSERT_FALSE(fault::configureGlobal(
+      "seed=1;service.job.hang:count=1,delay_ms=30000"));
+  CompileRequest Hung = weaverJob(20, 1);
+  Hung.WatchdogSeconds = 0.15; // per-job budget, well under the stall
+  std::atomic<int> Fired{0};
+  JobOutcome Out = waitOrDie(
+      Service.submit(Hung, [&](const JobOutcome &) { ++Fired; }));
+
+  EXPECT_EQ(Out.State, JobState::Failed);
+  EXPECT_TRUE(Out.WatchdogTimedOut);
+  EXPECT_TRUE(startsWith(Out.Diagnostic, "watchdog:")) << Out.Diagnostic;
+  EXPECT_GE(Out.CompileSeconds, 0.15) << "rescue cannot beat the budget";
+
+  // The rescued worker takes the next job (hang budget spent: count=1).
+  JobOutcome Next = waitOrDie(Service.submit(weaverJob(20, 2)));
+  EXPECT_EQ(Next.State, JobState::Completed);
+
+  Service.shutdown();
+  EXPECT_EQ(Fired.load(), 1) << "watchdog and compile double-resolved";
+  CompileService::ServiceStats S = Service.stats();
+  EXPECT_EQ(S.WatchdogTimeouts, 1u);
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.Submitted, S.Completed + S.Cancelled + S.Failed);
+  EXPECT_NE(Service.statsTable().render().find("watchdog timeouts"),
+            std::string::npos);
+}
+
+TEST(CompileService, WatchdogRescuesMidPipelineHang) {
+  // Same rescue when the stall is between pipeline passes: the watchdog
+  // cancels the job's token and the injected hang converts to a prompt
+  // cooperative abort instead of sleeping out its cap.
+  FaultGuard Guard;
+  ServiceOptions Opt;
+  Opt.NumThreads = 1;
+  Opt.WatchdogSeconds = 0.15; // service-wide default budget
+  CompileService Service(Opt);
+
+  ASSERT_FALSE(fault::configureGlobal(
+      "seed=1;pipeline.hang:count=1,delay_ms=30000"));
+  auto Begin = std::chrono::steady_clock::now();
+  JobOutcome Out = waitOrDie(Service.submit(weaverJob(20, 1)));
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Begin)
+                       .count();
+
+  EXPECT_EQ(Out.State, JobState::Failed);
+  EXPECT_TRUE(Out.WatchdogTimedOut);
+  EXPECT_LT(Elapsed, 20.0) << "hang must not sleep out its 30 s cap";
+
+  JobOutcome Next = waitOrDie(Service.submit(weaverJob(20, 2)));
+  EXPECT_EQ(Next.State, JobState::Completed);
+}
+
+TEST(CompileService, WatchdogBudgetCountsCompileTimeNotQueueWait) {
+  // The budget clock starts when the compile starts, not at submission:
+  // a fast job that waited behind a hung one must still complete even
+  // though its wall-clock wait exceeded the budget.
+  FaultGuard Guard;
+  ServiceOptions Opt;
+  Opt.NumThreads = 1;
+  Opt.WatchdogSeconds = 0.2;
+  CompileService Service(Opt);
+
+  ASSERT_FALSE(fault::configureGlobal(
+      "seed=1;service.job.hang:count=1,delay_ms=30000"));
+  CompileService::JobHandle Hung = Service.submit(weaverJob(20, 1));
+  // Queued behind the hang; its queue wait is ~the 0.2 s rescue budget.
+  CompileService::JobHandle Fast = Service.submit(weaverJob(20, 2));
+
+  EXPECT_EQ(waitOrDie(Hung).State, JobState::Failed);
+  JobOutcome Out = waitOrDie(Fast);
+  EXPECT_EQ(Out.State, JobState::Completed);
+  EXPECT_FALSE(Out.WatchdogTimedOut);
+}
+
+TEST(CompileService, WatchdogIdleOnFastJobs) {
+  // A generous budget never fires on healthy jobs.
+  FaultGuard Guard;
+  ServiceOptions Opt;
+  Opt.NumThreads = 1;
+  Opt.WatchdogSeconds = 30.0;
+  CompileService Service(Opt);
+  JobOutcome Out = waitOrDie(Service.submit(weaverJob(20, 1)));
+  EXPECT_EQ(Out.State, JobState::Completed);
+  EXPECT_FALSE(Out.WatchdogTimedOut);
+  EXPECT_EQ(Service.stats().WatchdogTimeouts, 0u);
+}
+
+TEST(CompileService, InjectedWorkerCrashResolvesFailedAndPoolSurvives) {
+  // A simulated worker crash resolves the job Failed with the injected
+  // diagnostic; the pool keeps serving and the accounting balances.
+  FaultGuard Guard;
+  ServiceOptions Opt;
+  Opt.NumThreads = 1;
+  CompileService Service(Opt);
+
+  ASSERT_FALSE(fault::configureGlobal("seed=1;service.job.crash:count=1"));
+  JobOutcome Out = waitOrDie(Service.submit(weaverJob(20, 1)));
+  EXPECT_EQ(Out.State, JobState::Failed);
+  EXPECT_EQ(Out.Diagnostic, "worker crashed (injected fault)");
+  EXPECT_FALSE(Out.WatchdogTimedOut);
+
+  JobOutcome Next = waitOrDie(Service.submit(weaverJob(20, 1)));
+  EXPECT_EQ(Next.State, JobState::Completed);
+  CompileService::ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Submitted, S.Completed + S.Cancelled + S.Failed);
+  EXPECT_EQ(S.Failed, 1u);
+  EXPECT_EQ(S.WatchdogTimeouts, 0u);
+}
+
+TEST(CompileService, ShutdownWithArmedWatchdogIsClean) {
+  // Shutdown while watchdog deadlines are outstanding (healthy jobs,
+  // generous budgets) must not fire spurious timeouts or deadlock.
+  FaultGuard Guard;
+  ServiceOptions Opt;
+  Opt.NumThreads = 2;
+  Opt.WatchdogSeconds = 60.0;
+  CompileService Service(Opt);
+  std::vector<CompileService::JobHandle> Handles;
+  for (int I = 1; I <= 4; ++I)
+    Handles.push_back(Service.submit(weaverJob(20, I)));
+  Service.shutdown(/*Drain=*/true);
+  for (const auto &H : Handles)
+    EXPECT_EQ(waitOrDie(H).State, JobState::Completed);
+  EXPECT_EQ(Service.stats().WatchdogTimeouts, 0u);
 }

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/FaultInjection.h"
 #include "support/Geometry.h"
 #include "support/Rng.h"
 #include "support/Status.h"
@@ -13,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 using namespace weaver;
 
@@ -160,4 +162,184 @@ TEST(Table, PadsShortRows) {
   Table T({"a", "b", "c"});
   T.addRow({"1"});
   EXPECT_NE(T.render().find("1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjection: spec parsing, schedule semantics, determinism
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, EmptySpecIsDisabled) {
+  auto C = fault::parseConfig("");
+  ASSERT_TRUE(C.ok());
+  EXPECT_FALSE(C->enabled());
+  auto C2 = fault::parseConfig("   ");
+  ASSERT_TRUE(C2.ok());
+  EXPECT_FALSE(C2->enabled());
+}
+
+TEST(FaultInjection, ParsesSeedAndSiteClauses) {
+  auto C = fault::parseConfig(
+      "seed=42;binio.fsync:after=1,count=2;service.job.hang:p=0.25,"
+      "delay_ms=500;net.*");
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(C->Seed, 42u);
+  ASSERT_EQ(C->Sites.size(), 3u);
+  EXPECT_EQ(C->Sites[0].Pattern, "binio.fsync");
+  EXPECT_EQ(C->Sites[0].After, 1u);
+  EXPECT_EQ(C->Sites[0].Count, 2u);
+  EXPECT_DOUBLE_EQ(C->Sites[1].Probability, 0.25);
+  EXPECT_DOUBLE_EQ(C->Sites[1].DelayMs, 500);
+  EXPECT_EQ(C->Sites[2].Pattern, "net.*");
+}
+
+TEST(FaultInjection, RejectsMalformedSpecs) {
+  EXPECT_FALSE(fault::parseConfig("site:p=1.5").ok());       // p out of range
+  EXPECT_FALSE(fault::parseConfig("site:p=-0.1").ok());      // p out of range
+  EXPECT_FALSE(fault::parseConfig("site:bogus=1").ok());     // unknown key
+  EXPECT_FALSE(fault::parseConfig("site:p=0.5,every=2").ok()); // exclusive
+  EXPECT_FALSE(fault::parseConfig("seed=nope").ok());        // bad seed
+  EXPECT_FALSE(fault::parseConfig("site:after=abc").ok());   // bad number
+  EXPECT_FALSE(fault::parseConfig("UPPER.Case").ok());       // bad site name
+  EXPECT_FALSE(fault::parseConfig("site:delay_ms=-5").ok()); // negative delay
+}
+
+TEST(FaultInjection, BareClauseFiresEveryCall) {
+  fault::Engine E(fault::parseConfig("seed=1;always.on").take());
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(E.decide("always.on").Fire);
+  EXPECT_FALSE(E.decide("other.site").Fire);
+}
+
+TEST(FaultInjection, AfterCountEverySchedules) {
+  // after=2,count=1: exactly the 3rd call fires.
+  fault::Engine E(fault::parseConfig("seed=1;s:after=2,count=1").take());
+  std::vector<bool> Fires;
+  for (int I = 0; I < 6; ++I)
+    Fires.push_back(E.decide("s").Fire);
+  EXPECT_EQ(Fires, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+
+  // every=3: calls 3, 6, 9 fire.
+  fault::Engine E2(fault::parseConfig("seed=1;s:every=3").take());
+  int Fired = 0;
+  for (int I = 1; I <= 9; ++I)
+    if (E2.decide("s").Fire) {
+      ++Fired;
+      EXPECT_EQ(I % 3, 0);
+    }
+  EXPECT_EQ(Fired, 3);
+}
+
+TEST(FaultInjection, PrefixWildcardMatchesFamily) {
+  fault::Engine E(fault::parseConfig("seed=1;binio.*").take());
+  EXPECT_TRUE(E.decide("binio.fsync").Fire);
+  EXPECT_TRUE(E.decide("binio.rename").Fire);
+  EXPECT_FALSE(E.decide("persist.save.abort").Fire);
+}
+
+TEST(FaultInjection, FirstMatchingClauseWins) {
+  fault::Engine E(
+      fault::parseConfig("seed=1;binio.fsync:count=1;binio.*:every=2")
+          .take());
+  // binio.fsync binds the exact clause (fires once), not the wildcard.
+  EXPECT_TRUE(E.decide("binio.fsync").Fire);
+  EXPECT_FALSE(E.decide("binio.fsync").Fire);
+}
+
+TEST(FaultInjection, SameSeedSameSchedule) {
+  const char *Spec = "seed=7;s:p=0.4";
+  fault::Engine A(fault::parseConfig(Spec).take());
+  fault::Engine B(fault::parseConfig(Spec).take());
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(A.decide("s").Fire, B.decide("s").Fire);
+}
+
+TEST(FaultInjection, SiteStreamsAreIndependent) {
+  // Site "a"'s decision sequence must not depend on how often other
+  // sites are consulted in between.
+  fault::Engine Alone(fault::parseConfig("seed=9;a:p=0.5;b:p=0.5").take());
+  std::vector<bool> Expected;
+  for (int I = 0; I < 32; ++I)
+    Expected.push_back(Alone.decide("a").Fire);
+
+  fault::Engine Mixed(fault::parseConfig("seed=9;a:p=0.5;b:p=0.5").take());
+  std::vector<bool> Got;
+  for (int I = 0; I < 32; ++I) {
+    Mixed.decide("b"); // interleaved traffic on another site
+    Mixed.decide("b");
+    Got.push_back(Mixed.decide("a").Fire);
+  }
+  EXPECT_EQ(Got, Expected);
+}
+
+TEST(FaultInjection, CountCapKeepsDrawsAligned) {
+  // The probabilistic draw happens on every eligible call even once the
+  // count cap is reached, so a capped schedule observes the same ordinals
+  // firing as an uncapped one (just suppressed past the cap).
+  fault::Engine Capped(fault::parseConfig("seed=5;s:p=0.5,count=2").take());
+  fault::Engine Free(fault::parseConfig("seed=5;s:p=0.5").take());
+  int Fired = 0;
+  for (int I = 0; I < 64; ++I) {
+    bool F = Free.decide("s").Fire;
+    bool C = Capped.decide("s").Fire;
+    if (Fired < 2)
+      EXPECT_EQ(C, F);
+    else
+      EXPECT_FALSE(C);
+    if (C)
+      ++Fired;
+  }
+  EXPECT_EQ(Fired, 2);
+}
+
+TEST(FaultInjection, ClampLenStaysInRange) {
+  fault::Engine E(fault::parseConfig("seed=3;s").take());
+  for (int I = 0; I < 32; ++I) {
+    size_t L = E.clampLen("s", 100, 10);
+    EXPECT_GE(L, 10u);
+    EXPECT_LT(L, 100u);
+  }
+  // Degenerate ranges pass through untouched.
+  EXPECT_EQ(E.clampLen("s", 1, 1), 1u);
+  EXPECT_EQ(E.clampLen("s", 0), 0u);
+}
+
+TEST(FaultInjection, CountersAreSortedAndAccurate) {
+  fault::Engine E(fault::parseConfig("seed=1;b.site:count=1;a.site").take());
+  E.decide("b.site");
+  E.decide("b.site");
+  E.decide("a.site");
+  E.decide("unmatched.site");
+  auto C = E.counters();
+  ASSERT_EQ(C.size(), 3u);
+  EXPECT_EQ(C[0].Site, "a.site");
+  EXPECT_EQ(C[0].Calls, 1u);
+  EXPECT_EQ(C[0].Fired, 1u);
+  EXPECT_EQ(C[1].Site, "b.site");
+  EXPECT_EQ(C[1].Calls, 2u);
+  EXPECT_EQ(C[1].Fired, 1u);
+  EXPECT_EQ(C[2].Site, "unmatched.site");
+  EXPECT_EQ(C[2].Fired, 0u);
+  EXPECT_EQ(E.totalFired(), 2u);
+}
+
+TEST(FaultInjection, DisabledEngineNeverFires) {
+  fault::Engine E;
+  EXPECT_FALSE(E.enabled());
+  EXPECT_FALSE(E.decide("any.site").Fire);
+  EXPECT_EQ(E.clampLen("any.site", 50), 50u);
+}
+
+TEST(FaultInjection, GlobalConfigureAndReset) {
+  ASSERT_FALSE(fault::enabled());
+  ASSERT_FALSE(fault::configureGlobal("seed=2;g.test.site"));
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_TRUE(fault::fire("g.test.site"));
+  EXPECT_FALSE(fault::fire("g.other.site"));
+  fault::resetGlobal();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::fire("g.test.site"));
+  // A malformed global spec is rejected without enabling anything.
+  EXPECT_TRUE(fault::configureGlobal("bad spec here"));
+  EXPECT_FALSE(fault::enabled());
 }

@@ -17,11 +17,16 @@
 ///  * Driver (--shards N): forks N workers via /proc/self/exe, each
 ///    compiling the sizes with index % N == K. Workers write their table
 ///    rows as TSV and (with --cache-file) save a per-shard segment
-///    `PATH.shard<K>`; the driver waits for all of them, reassembles the
-///    rows in suite order — byte-identical to the 1-process table, which
-///    is possible because the table carries only deterministic columns —
-///    and compacts the segments into PATH with PassCache::mergeSnapshots.
-///    Timing goes to stderr so stdout stays deterministic.
+///    `PATH.shard<K>`; the driver supervises them — reaping in completion
+///    order (waitpid(-1)), reporting which shard failed and why, and
+///    respawning a crashed worker on its shard (partial row/segment
+///    output discarded first) up to a --retries budget — then reassembles
+///    the rows in suite order — byte-identical to the 1-process table,
+///    which is possible because the table carries only deterministic
+///    columns — and compacts the segments into PATH with the tolerant
+///    PassCache::mergeSnapshots (an unreadable segment is skipped with a
+///    warning; its entries recompute as cold misses later). Timing goes
+///    to stderr so stdout stays deterministic.
 ///
 ///  * Worker (--shards N --shard K): internal; spawned by the driver.
 ///
@@ -33,6 +38,13 @@
 ///                  (0 program-tier misses, >0 hits) — CI uses this to
 ///                  pin the disk warm-start after a restart.
 ///   --instances N / --points P  suite weight per size (defaults 2 / 3).
+///   --retries N    respawn budget per shard (default 2).
+///   --faults SPEC  support::FaultInjection spec installed in every
+///                  worker (and in single/worker mode, this process).
+///   --crash-shard K  supervision self-test: worker K's first attempt is
+///                  spawned with a one-shot `shard.worker.crash` schedule
+///                  that SIGKILLs it mid-sweep; the respawn completes the
+///                  shard and the run must still pass --check.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +53,7 @@
 #include "core/WeaverCompiler.h"
 #include "core/pipeline/PassCache.h"
 #include "sat/Generator.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
@@ -48,6 +61,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,8 +83,11 @@ struct Config {
   int Shard = -1;   ///< >=0: this process is worker K
   int Instances = 2;
   int Points = 3;
+  int Retries = 2;     ///< respawn budget per shard
+  int CrashShard = -1; ///< inject a one-shot worker crash into shard K
   std::string RowsOut;   ///< worker: TSV row sink (driver-supplied)
   std::string CacheFile; ///< persisted PassCache snapshot ("" = off)
+  std::string FaultSpec; ///< fault::parseConfig spec for the workers
   bool Check = false;
   bool ExpectWarm = false;
 };
@@ -100,6 +117,14 @@ bool computeRows(const Config &C, const std::vector<size_t> &SizeIdx,
 
   for (size_t S : SizeIdx) {
     int N = sat::SatlibSizes[S];
+    // Simulated worker crash: die the way a real OOM-kill or segfault
+    // would — no exit handlers, no partial-output cleanup. The driver's
+    // supervisor must respawn the shard and discard whatever this
+    // process managed to write.
+    if (fault::fire("shard.worker.crash")) {
+      std::fprintf(stderr, "injected crash before size N=%d\n", N);
+      ::raise(SIGKILL);
+    }
     std::vector<sat::CnfFormula> Batch;
     for (int I = 1; I <= C.Instances; ++I)
       Batch.push_back(sat::satlibInstance(N, I));
@@ -219,6 +244,28 @@ int runWorker(const Config &C) {
 
 // --- Driver ---------------------------------------------------------------
 
+/// Human-readable cause of a worker's death, from its waitpid status.
+std::string describeExit(int WStatus) {
+  if (WIFEXITED(WStatus))
+    return "exited with status " + std::to_string(WEXITSTATUS(WStatus));
+  if (WIFSIGNALED(WStatus)) {
+    int Sig = WTERMSIG(WStatus);
+    const char *Name = strsignal(Sig);
+    return "killed by signal " + std::to_string(Sig) +
+           (Name ? std::string(" (") + Name + ")" : std::string());
+  }
+  return "stopped unexpectedly";
+}
+
+/// One supervised shard: which worker process currently owns it and how
+/// many times it has been (re)spawned.
+struct WorkerSlot {
+  int Shard = 0;
+  pid_t Pid = -1;
+  int Attempts = 0;
+  bool Done = false;
+};
+
 int runDriver(const Config &C, const char *Self) {
   auto Start = std::chrono::steady_clock::now();
 
@@ -226,19 +273,43 @@ int runDriver(const Config &C, const char *Self) {
       C.RowsOut.empty()
           ? "shard_sweep_rows." + std::to_string(static_cast<long>(getpid()))
           : C.RowsOut;
+  auto RowsPath = [&RowsBase](int Shard) {
+    return RowsBase + "." + std::to_string(Shard);
+  };
 
-  std::vector<pid_t> Pids;
-  for (int K = 0; K < C.Shards; ++K) {
+  // A crashed worker leaves partial output behind; everything a shard
+  // wrote is discarded before its respawn (and stale leftovers from
+  // previous runs before the first spawn) so only a worker that ran to
+  // completion contributes rows or a segment.
+  auto DiscardOutputs = [&](int Shard) {
+    std::remove(RowsPath(Shard).c_str());
+    if (!C.CacheFile.empty())
+      std::remove(segmentPath(C.CacheFile, Shard).c_str());
+  };
+
+  // Spawns (or respawns) a worker on Slot's shard. The --crash-shard
+  // self-test arms a one-shot SIGKILL schedule on the first attempt
+  // only, so the respawn can prove the recovery path end to end.
+  auto Spawn = [&](WorkerSlot &Slot) -> bool {
+    DiscardOutputs(Slot.Shard);
+    std::string Faults = C.FaultSpec;
+    if (Slot.Shard == C.CrashShard && Slot.Attempts == 0)
+      Faults += std::string(Faults.empty() ? "" : ";") +
+                "shard.worker.crash:after=1,count=1";
     std::vector<std::string> Args = {
         Self,
         "--shards", std::to_string(C.Shards),
-        "--shard", std::to_string(K),
-        "--rows-out", RowsBase + "." + std::to_string(K),
+        "--shard", std::to_string(Slot.Shard),
+        "--rows-out", RowsPath(Slot.Shard),
         "--instances", std::to_string(C.Instances),
         "--points", std::to_string(C.Points)};
     if (!C.CacheFile.empty()) {
       Args.push_back("--cache-file");
       Args.push_back(C.CacheFile);
+    }
+    if (!Faults.empty()) {
+      Args.push_back("--faults");
+      Args.push_back(Faults);
     }
     std::vector<char *> Argv;
     for (std::string &A : Args)
@@ -248,28 +319,77 @@ int runDriver(const Config &C, const char *Self) {
     pid_t Pid = fork();
     if (Pid < 0) {
       std::fprintf(stderr, "error: fork failed: %s\n", std::strerror(errno));
-      return 1;
+      return false;
     }
     if (Pid == 0) {
       execv(Self, Argv.data());
       std::fprintf(stderr, "error: exec failed: %s\n", std::strerror(errno));
       _exit(127);
     }
-    Pids.push_back(Pid);
+    Slot.Pid = Pid;
+    ++Slot.Attempts;
+    return true;
+  };
+
+  std::vector<WorkerSlot> Slots(C.Shards);
+  for (int K = 0; K < C.Shards; ++K) {
+    Slots[K].Shard = K;
+    if (!Spawn(Slots[K]))
+      return 1;
   }
 
-  bool WorkersOk = true;
-  for (pid_t Pid : Pids) {
+  // Reap in completion order: waitpid(-1) returns whichever worker died
+  // first, so a crashed shard 3 is respawned while shard 0 is still
+  // compiling — no head-of-line blocking on the lowest pid.
+  auto ReapAll = [&Slots]() {
+    for (WorkerSlot &Slot : Slots)
+      if (!Slot.Done && Slot.Pid > 0) {
+        kill(Slot.Pid, SIGKILL);
+        waitpid(Slot.Pid, nullptr, 0);
+      }
+  };
+  int Remaining = C.Shards;
+  while (Remaining > 0) {
     int WStatus = 0;
-    if (waitpid(Pid, &WStatus, 0) < 0 || !WIFEXITED(WStatus) ||
-        WEXITSTATUS(WStatus) != 0) {
-      std::fprintf(stderr, "error: worker %ld failed\n",
-                   static_cast<long>(Pid));
-      WorkersOk = false;
+    pid_t Pid = waitpid(-1, &WStatus, 0);
+    if (Pid < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "error: waitpid failed: %s\n",
+                   std::strerror(errno));
+      ReapAll();
+      return 1;
+    }
+    auto It = std::find_if(Slots.begin(), Slots.end(), [Pid](
+                               const WorkerSlot &S) { return S.Pid == Pid; });
+    if (It == Slots.end())
+      continue; // not ours (can't happen: the driver spawns nothing else)
+    WorkerSlot &Slot = *It;
+    Slot.Pid = -1;
+    if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 0) {
+      Slot.Done = true;
+      --Remaining;
+      continue;
+    }
+    std::string Why = describeExit(WStatus);
+    if (Slot.Attempts > C.Retries) {
+      std::fprintf(stderr,
+                   "error: shard %d %s; retry budget exhausted after %d "
+                   "attempt(s)\n",
+                   Slot.Shard, Why.c_str(), Slot.Attempts);
+      ReapAll();
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "warning: shard %d (pid %ld) %s; respawning (attempt "
+                 "%d/%d)\n",
+                 Slot.Shard, static_cast<long>(Pid), Why.c_str(),
+                 Slot.Attempts + 1, C.Retries + 1);
+    if (!Spawn(Slot)) {
+      ReapAll();
+      return 1;
     }
   }
-  if (!WorkersOk)
-    return 1;
 
   // Reassemble the rows in suite order.
   std::vector<Row> Rows;
@@ -305,13 +425,21 @@ int runDriver(const Config &C, const char *Self) {
   // Compact the per-shard segments into the shared snapshot. Every
   // segment already contains the base entries (workers load the base
   // first), so merging the segments alone is complete; first-input-wins
-  // keeps the result deterministic.
+  // keeps the result deterministic. The tolerant merge skips a segment
+  // that is missing or unreadable (a crash window the atomic save cannot
+  // close: the worker died after its rows landed but before its segment)
+  // — the skipped shard's entries just recompute as cold misses on the
+  // next warm start, and the table (built from the TSV rows, not the
+  // cache) is unaffected.
   if (!C.CacheFile.empty()) {
     std::vector<std::string> Segments;
     for (int K = 0; K < C.Shards; ++K)
       Segments.push_back(segmentPath(C.CacheFile, K));
-    Status S =
-        core::pipeline::PassCache::mergeSnapshots(Segments, C.CacheFile);
+    std::vector<std::string> Skipped;
+    Status S = core::pipeline::PassCache::mergeSnapshots(
+        Segments, C.CacheFile, &Skipped);
+    for (const std::string &Skip : Skipped)
+      std::fprintf(stderr, "warning: segment skipped: %s\n", Skip.c_str());
     if (S) {
       std::fprintf(stderr, "error: segment merge failed: %s\n",
                    S.message().c_str());
@@ -390,7 +518,8 @@ int runSingle(const Config &C) {
 const char *Usage =
     "usage: shard_sweep [--shards N [--shard K]] "
     "[--cache-file PATH] [--instances N] [--points P] "
-    "[--check] [--expect-warm]\n";
+    "[--check] [--expect-warm] [--retries N] [--faults SPEC] "
+    "[--crash-shard K]\n";
 
 /// Parses an argv flag value as a range-checked integer; a malformed or
 /// out-of-range value (negative shard counts, overflow, garbage) is a
@@ -427,6 +556,12 @@ int main(int Argc, char **Argv) {
       C.Instances = static_cast<int>(argInt(Arg, Next(), 1, 10000));
     else if (Arg == "--points")
       C.Points = static_cast<int>(argInt(Arg, Next(), 1, 10000));
+    else if (Arg == "--retries")
+      C.Retries = static_cast<int>(argInt(Arg, Next(), 0, 100));
+    else if (Arg == "--crash-shard")
+      C.CrashShard = static_cast<int>(argInt(Arg, Next(), 0, 255));
+    else if (Arg == "--faults")
+      C.FaultSpec = Next();
     else if (Arg == "--check")
       C.Check = true;
     else if (Arg == "--expect-warm")
@@ -435,6 +570,19 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "%s", Usage);
       return Arg == "--help" ? 0 : 1;
     }
+  }
+  // Worker and single-process modes inject faults in this process; the
+  // driver only forwards the spec (its own compiles — the --check
+  // reference — must stay fault-free). Validate it up front either way
+  // so a typo fails before any worker is forked.
+  if (!C.FaultSpec.empty()) {
+    Expected<fault::Config> FC = fault::parseConfig(C.FaultSpec);
+    if (!FC) {
+      std::fprintf(stderr, "error: --faults: %s\n", FC.message().c_str());
+      return 1;
+    }
+    if (C.Shards <= 0 || C.Shard >= 0)
+      fault::configureGlobal(FC.take());
   }
   if (C.Shard >= 0) {
     if (C.Shards < 1 || C.Shard >= C.Shards || C.RowsOut.empty()) {
